@@ -1,0 +1,109 @@
+// Figure 6 reproduction: node removal (Red-Black SOR, 1024x1024, Ultra-Sparc
+// cluster profile, 8/16/32 nodes).
+//
+// One node carries 1, 2, or 3 competing processes.  Two policies are
+// measured after adaptation settles:
+//   balance — successive balancing across all nodes, loaded one included,
+//   drop    — the loaded node physically removed.
+// The reported metric is the average phase-cycle execution time after
+// redistribution.
+//
+// Paper shapes: dropping is always worse on 8 nodes, moderately better on 16
+// (2/7/8% for 1/2/3 CPs), significantly better on 32 (4/14/25%) — the
+// benefit of removal grows as the computation/communication ratio falls.
+#include "apps/sor.hpp"
+#include "bench/bench_common.hpp"
+
+namespace dynmpi::bench {
+namespace {
+
+double avg_settled_cycle(msg::Machine& m, const apps::SorConfig& cfg,
+                         int measure_last) {
+    double avg = 0.0;
+    // Work around lambda capture of the config copy per run.
+    apps::SorConfig local = cfg;
+    m.run([&](msg::Rank& r) {
+        auto res = apps::run_sor(r, local);
+        if (r.id() == 0) {
+            const auto& h = res.stats.history;
+            int n = static_cast<int>(h.size());
+            double s = 0.0;
+            for (int i = n - measure_last; i < n; ++i)
+                s += h[static_cast<std::size_t>(i)].max_wall_s;
+            avg = s / measure_last;
+        }
+    });
+    return avg;
+}
+
+double run_policy(int nodes, int cps, bool drop) {
+    msg::Machine m(sparc_cluster(nodes));
+    const int cp_node = nodes / 2;
+
+    apps::SorConfig cfg;
+    cfg.rows = 1024; // paper: 1024x1024
+    cfg.cols_stored = 1024;
+    cfg.cols_math = 16;
+    cfg.cycles = 1000; // long enough for dmpi_ps detection at every scale
+    cfg.sec_per_row = 3.0e-4; // 1024 cells at Ultra-Sparc throughput
+    cfg.runtime.enable_removal = drop;
+    cfg.runtime.force_drop_loaded = drop;
+    cfg.runtime.max_redistributions = 2; // settle, then hold the policy
+    cfg.on_cycle = competing_at_cycle(m, cp_node, 5, cps);
+    return avg_settled_cycle(m, cfg, /*measure_last=*/250);
+}
+
+}  // namespace
+
+int main_impl() {
+    std::printf("Figure 6 — node removal (SOR 1024x1024, Ultra-Sparc "
+                "profile)\n");
+    std::printf("Average phase-cycle time after redistribution; 'gain' is "
+                "the improvement from dropping the loaded node.\n");
+
+    struct Cell {
+        double balance, drop;
+    };
+    std::vector<int> node_counts{8, 16, 32};
+    std::vector<int> cp_counts{1, 2, 3};
+    std::vector<std::vector<Cell>> grid(node_counts.size());
+
+    TextTable t;
+    t.header({"nodes", "CPs", "balance(ms)", "drop(ms)", "drop gain"});
+    for (std::size_t ni = 0; ni < node_counts.size(); ++ni) {
+        for (int cps : cp_counts) {
+            Cell c{run_policy(node_counts[ni], cps, false),
+                   run_policy(node_counts[ni], cps, true)};
+            grid[ni].push_back(c);
+            t.row({std::to_string(node_counts[ni]), std::to_string(cps),
+                   fmt(c.balance * 1e3, 2), fmt(c.drop * 1e3, 2),
+                   pct((c.balance - c.drop) / c.balance)});
+        }
+    }
+    std::printf("%s", t.render().c_str());
+
+    auto gain = [&](std::size_t ni, int cps) {
+        const Cell& c = grid[ni][static_cast<std::size_t>(cps - 1)];
+        return (c.balance - c.drop) / c.balance;
+    };
+
+    section("SHAPE CHECKS (paper Figure 6)");
+    bool drop_loses_at_8 = true;
+    for (int cps : cp_counts)
+        if (gain(0, cps) > 0.01) drop_loses_at_8 = false;
+    shape_check(drop_loses_at_8, "dropping is not beneficial on 8 nodes");
+    shape_check(gain(2, 2) > 0.0 && gain(2, 3) > 0.05,
+                "dropping wins on 32 nodes once load is heavy "
+                "(paper: 4/14/25%; our magnitudes run smaller)");
+    shape_check(gain(2, 3) > gain(1, 3),
+                "benefit of removal grows with node count (16 -> 32)");
+    shape_check(gain(1, 3) >= gain(0, 3),
+                "benefit of removal grows with node count (8 -> 16)");
+    shape_check(gain(2, 3) > gain(2, 1),
+                "on 32 nodes, more CPs -> bigger removal benefit");
+    return 0;
+}
+
+}  // namespace dynmpi::bench
+
+int main() { return dynmpi::bench::main_impl(); }

@@ -1,0 +1,82 @@
+// Micro-benchmarks for redistribution planning: the pure functions executed
+// by every node at each adaptation (transfer-set computation must stay cheap
+// because it is O(nodes^2 x arrays) per redistribution).
+#include <benchmark/benchmark.h>
+
+#include "dynmpi/redistributor.hpp"
+
+namespace dynmpi {
+namespace {
+
+std::vector<Drsd> halo(const std::string& name) {
+    return {
+        Drsd{name, AccessMode::Write, 0, 1, 0},
+        Drsd{name, AccessMode::Read, 0, 1, -1},
+        Drsd{name, AccessMode::Read, 0, 1, +1},
+    };
+}
+
+void BM_TransferPlan_FullPairGrid(benchmark::State& state) {
+    const int nodes = static_cast<int>(state.range(0));
+    const int rows = 4096;
+    std::vector<int> members(static_cast<size_t>(nodes));
+    for (int i = 0; i < nodes; ++i) members[(size_t)i] = i;
+    msg::Group g(members);
+    auto oldd = Distribution::even_block(0, rows, nodes);
+    // Perturbed new distribution.
+    std::vector<int> counts(static_cast<size_t>(nodes), rows / nodes);
+    counts[0] -= rows / (4 * nodes);
+    counts[(size_t)nodes - 1] += rows / (4 * nodes);
+    auto newd = Distribution::block(0, rows, counts);
+    RedistContext ctx{rows, &g, &oldd, &g, &newd};
+    auto acc = halo("A");
+
+    for (auto _ : state) {
+        int total = 0;
+        for (int s = 0; s < nodes; ++s)
+            for (int d = 0; d < nodes; ++d)
+                total += transfer_rows(ctx, acc, s, d).count();
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() * nodes * nodes);
+}
+BENCHMARK(BM_TransferPlan_FullPairGrid)->Arg(8)->Arg(32);
+
+void BM_NeededRows_WithGhosts(benchmark::State& state) {
+    const int rows = 16384;
+    std::vector<int> members{0, 1, 2, 3, 4, 5, 6, 7};
+    msg::Group g(members);
+    auto d = Distribution::even_block(0, rows, 8);
+    auto acc = halo("A");
+    for (auto _ : state) {
+        for (int w = 0; w < 8; ++w)
+            benchmark::DoNotOptimize(needed_rows(g, d, w, acc, rows).count());
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_NeededRows_WithGhosts);
+
+void BM_CyclicToBlockPlan(benchmark::State& state) {
+    // The worst case for RowSet machinery: cyclic ownership makes every
+    // transfer set highly fragmented.
+    const int rows = 2048;
+    std::vector<int> members{0, 1, 2, 3};
+    msg::Group g(members);
+    auto oldd = Distribution::cyclic(0, rows, 4);
+    auto newd = Distribution::even_block(0, rows, 4);
+    RedistContext ctx{rows, &g, &oldd, &g, &newd};
+    std::vector<Drsd> acc{Drsd{"A", AccessMode::Write, 0, 1, 0}};
+    for (auto _ : state) {
+        int total = 0;
+        for (int s = 0; s < 4; ++s)
+            for (int d = 0; d < 4; ++d)
+                total += transfer_rows(ctx, acc, s, d).count();
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_CyclicToBlockPlan);
+
+}  // namespace
+}  // namespace dynmpi
+
+BENCHMARK_MAIN();

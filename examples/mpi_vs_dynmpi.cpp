@@ -1,0 +1,128 @@
+// mpi_vs_dynmpi: the paper's core claim in one runnable comparison.
+//
+// The same Jacobi-pattern workload is written twice:
+//   (a) as an ordinary MPI program against the MPI-1 compat layer — static
+//       even blocks, exactly the paper's Figure 1 shape;
+//   (b) with Dyn-MPI.
+// Both run on the same 4-node simulated cluster where a competing process
+// occupies node 1 from t = 2 s on.  Same pattern, very different clocks.
+//
+// Build & run:  ./examples/mpi_vs_dynmpi
+#include <cstdio>
+#include <vector>
+
+#include "apps/jacobi.hpp"
+#include "mpisim/mpi_compat.hpp"
+#include "sim/load_trace.hpp"
+
+using namespace dynmpi;
+
+namespace {
+
+constexpr int kRows = 256;
+constexpr int kCols = 32;
+constexpr int kCycles = 150;
+constexpr double kRowCost = 2e-3;
+const char* kLoadTrace = "node 1: 2.0 inf   # someone logs in on node 1\n";
+
+/// (a) The static MPI version, written with MPI_* calls only.
+double run_plain_mpi() {
+    sim::ClusterConfig cc;
+    cc.num_nodes = 4;
+    msg::Machine m(cc);
+    sim::apply_load_trace(m.cluster(), kLoadTrace);
+
+    double checksum = 0.0;
+    m.run([&](msg::Rank& rank_handle) {
+        using namespace dynmpi::mpi;
+        MPI_Init(rank_handle);
+        int rank, numprocs;
+        MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+        MPI_Comm_size(MPI_COMM_WORLD, &numprocs);
+
+        const int block = kRows / numprocs;
+        const int lo = rank * block, hi = lo + block - 1;
+        std::vector<double> grid(static_cast<std::size_t>(block + 2) * kCols,
+                                 1.0);
+        auto row = [&](int global) {
+            return grid.data() +
+                   static_cast<std::size_t>(global - lo + 1) * kCols;
+        };
+
+        for (int t = 0; t < kCycles; ++t) {
+            if (rank > 0)
+                MPI_Send(row(lo), kCols, MPI_DOUBLE, rank - 1, 0,
+                         MPI_COMM_WORLD);
+            if (rank < numprocs - 1) {
+                MPI_Recv(row(hi + 1) + kCols - kCols, kCols, MPI_DOUBLE,
+                         rank + 1, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            }
+            if (rank < numprocs - 1)
+                MPI_Send(row(hi), kCols, MPI_DOUBLE, rank + 1, 1,
+                         MPI_COMM_WORLD);
+            if (rank > 0)
+                MPI_Recv(row(lo - 1) + 0, kCols, MPI_DOUBLE, rank - 1, 1,
+                         MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+            // The real sweep is tiny host work; the paper-scale cost is
+            // charged to the virtual clock.
+            for (int i = lo; i <= hi; ++i)
+                for (int j = 1; j < kCols - 1; ++j)
+                    row(i)[j] = 0.25 * (row(i)[j - 1] + row(i)[j + 1] +
+                                        row(i - 1 < lo ? lo : i - 1)[j] +
+                                        row(i + 1 > hi ? hi : i + 1)[j]);
+            mpi_rank().compute(block * kRowCost);
+        }
+        double local = 0;
+        for (int i = lo; i <= hi; ++i) local += row(i)[kCols / 2];
+        double sum = 0;
+        MPI_Allreduce(&local, &sum, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+        if (rank == 0) checksum = sum;
+        MPI_Finalize();
+    });
+    std::printf("  plain MPI : %6.2f s virtual   (checksum %.4f)\n",
+                m.elapsed_seconds(), checksum);
+    return m.elapsed_seconds();
+}
+
+/// (b) The Dyn-MPI version (the library's Jacobi app).
+double run_dynmpi() {
+    sim::ClusterConfig cc;
+    cc.num_nodes = 4;
+    msg::Machine m(cc);
+    sim::apply_load_trace(m.cluster(), kLoadTrace);
+
+    apps::JacobiConfig cfg;
+    cfg.rows = kRows;
+    cfg.cols_stored = kCols;
+    cfg.cols_math = kCols;
+    cfg.cycles = kCycles;
+    cfg.sec_per_row = kRowCost;
+    cfg.runtime.enable_removal = false;
+
+    apps::JacobiResult result;
+    m.run([&](msg::Rank& r) {
+        auto res = apps::run_jacobi(r, cfg);
+        if (r.id() == 0) result = res;
+    });
+    std::printf("  Dyn-MPI   : %6.2f s virtual   (checksum %.4f, %d "
+                "redistribution(s), final blocks",
+                m.elapsed_seconds(), result.checksum,
+                result.stats.redistributions);
+    for (int c : result.final_counts) std::printf(" %d", c);
+    std::printf(")\n");
+    return m.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+    std::printf("mpi_vs_dynmpi: the same Jacobi-pattern workload written both "
+                "ways; node 1 busy from t=2s\n\nload trace:\n  %s\n",
+                kLoadTrace);
+    double t_mpi = run_plain_mpi();
+    double t_dyn = run_dynmpi();
+    std::printf("\nDyn-MPI finishes %.1f%% sooner than the static MPI "
+                "program under the same load.\n",
+                (t_mpi - t_dyn) / t_mpi * 100.0);
+    return 0;
+}

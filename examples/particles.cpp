@@ -1,0 +1,68 @@
+// particles: an unbalanced particle simulation where the *application's own*
+// cost profile (particles per row) drives the distribution, not just the
+// external load.
+//
+// Node 0's block starts with 8x the particle density.  When a competing
+// process appears, the grace-period measurement captures the true per-row
+// costs and the resulting variable-block distribution gives the dense
+// region's owner far fewer rows.  Total particle mass is conserved across
+// every redistribution — printed as the invariant check.
+//
+// Build & run:  ./examples/particles
+#include <cstdio>
+
+#include "apps/particle.hpp"
+
+using namespace dynmpi;
+
+int main() {
+    sim::ClusterConfig cluster;
+    cluster.num_nodes = 8;
+    msg::Machine machine(cluster);
+
+    std::printf("particles: 256x128 grid on 8 nodes; node 0's rows start "
+                "8x dense; CP on node 4 at t=1s\n\n");
+    machine.cluster().add_load_interval(4, 1.0, -1.0);
+
+    apps::ParticleConfig cfg;
+    cfg.rows = 256;
+    cfg.cols = 128;
+    cfg.cycles = 300;
+    cfg.base_density = 1.0;
+    cfg.boost_rows = 32; // node 0's initial block
+    cfg.boost_density = 8.0;
+    cfg.sec_per_particle = 1e-5;
+    cfg.runtime.enable_removal = false;
+
+    double initial_mass = (256.0 - 32.0) * 128.0 * 1.0 + 32.0 * 128.0 * 8.0;
+
+    apps::ParticleResult result;
+    machine.run([&](msg::Rank& rank) {
+        auto res = apps::run_particle(rank, cfg);
+        if (rank.id() == 0) result = res;
+    });
+
+    std::printf("virtual elapsed  : %.2f s\n", machine.elapsed_seconds());
+    std::printf("redistributions  : %d\n", result.stats.redistributions);
+    std::printf("mass conservation: expected %.1f, measured %.6f (drift "
+                "%.2e)\n",
+                initial_mass, result.total_mass,
+                result.total_mass - initial_mass);
+    std::printf("final block sizes:");
+    for (int c : result.final_counts) std::printf(" %d", c);
+    std::printf("\n  (node 0 owns the dense region, so it gets the fewest "
+                "rows; node 4 is loaded, so it gets few as well)\n");
+
+    if (!result.last_row_costs.empty()) {
+        std::printf("\nmeasured per-row cost profile (8-row buckets, ms):\n ");
+        for (int b = 0; b < 256; b += 8) {
+            double s = 0;
+            for (int r = b; r < b + 8; ++r)
+                s += result.last_row_costs[static_cast<std::size_t>(r)];
+            std::printf(" %.1f", s / 8 * 1e3);
+            if ((b / 8) % 16 == 15) std::printf("\n ");
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,129 @@
+// playground: run any of the four applications on a cluster you describe
+// from the command line — the quickest way to poke at Dyn-MPI's behaviour.
+//
+// Usage:
+//   playground [app] [nodes] [cycles] [trace...]
+//     app    : jacobi | sor | cg | particle      (default jacobi)
+//     nodes  : cluster size                      (default 4)
+//     cycles : phase cycles                      (default 120)
+//     trace  : remaining args joined as a load trace, e.g.
+//              'node 1: 1.0 inf x2'  (default: one CP on node 1 at t=1)
+//
+// Examples:
+//   ./playground sor 8 300 'node 3: 2 9 x3'
+//   ./playground particle 4 200 'node 0: 1 inf bursty(0.1,0.5)'
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/cg.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/particle.hpp"
+#include "apps/sor.hpp"
+#include "dynmpi/report.hpp"
+#include "sim/load_trace.hpp"
+
+using namespace dynmpi;
+
+namespace {
+
+template <typename Result>
+void finish(msg::Machine& m, const Result& result) {
+    std::printf("\nvirtual elapsed : %.2f s\n", m.elapsed_seconds());
+    std::printf("checksum        : %.6f\n", result.checksum);
+    std::printf("summary         : %s\n", summarize(result.stats).c_str());
+    std::printf("final blocks    :");
+    for (int c : result.final_counts) std::printf(" %d", c);
+    std::printf("\n\nadaptation log:\n%s",
+                render_events(result.stats).c_str());
+    std::printf("\ntimeline:\n%s",
+                render_timeline(result.stats,
+                                std::max(1, result.stats.cycles / 24))
+                    .c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string app = argc > 1 ? argv[1] : "jacobi";
+    int nodes = argc > 2 ? std::atoi(argv[2]) : 4;
+    int cycles = argc > 3 ? std::atoi(argv[3]) : 120;
+    std::string trace;
+    for (int i = 4; i < argc; ++i) {
+        trace += argv[i];
+        trace += '\n';
+    }
+    if (trace.empty()) trace = "node 1: 1.0 inf\n";
+
+    sim::ClusterConfig cc;
+    cc.num_nodes = nodes;
+    msg::Machine m(cc);
+    try {
+        sim::apply_load_trace(m.cluster(), trace);
+    } catch (const Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+
+    std::printf("playground: %s on %d nodes, %d cycles\nload trace:\n%s\n",
+                app.c_str(), nodes, cycles, trace.c_str());
+
+    if (app == "jacobi" || app == "sor") {
+        if (app == "jacobi") {
+            apps::JacobiConfig cfg;
+            cfg.rows = 64 * nodes;
+            cfg.cols_stored = 64;
+            cfg.cols_math = 32;
+            cfg.cycles = cycles;
+            cfg.sec_per_row = 1e-3;
+            apps::JacobiResult res;
+            m.run([&](msg::Rank& r) {
+                auto out = apps::run_jacobi(r, cfg);
+                if (r.id() == 0) res = out;
+            });
+            finish(m, res);
+        } else {
+            apps::SorConfig cfg;
+            cfg.rows = 64 * nodes;
+            cfg.cols_stored = 64;
+            cfg.cols_math = 32;
+            cfg.cycles = cycles;
+            cfg.sec_per_row = 1e-3;
+            apps::SorResult res;
+            m.run([&](msg::Rank& r) {
+                auto out = apps::run_sor(r, cfg);
+                if (r.id() == 0) res = out;
+            });
+            finish(m, res);
+        }
+    } else if (app == "cg") {
+        apps::CgConfig cfg;
+        cfg.n = 256 * nodes;
+        cfg.cycles = cycles;
+        cfg.sec_per_nnz = 2e-5;
+        apps::CgResult res;
+        m.run([&](msg::Rank& r) {
+            auto out = apps::run_cg(r, cfg);
+            if (r.id() == 0) res = out;
+        });
+        finish(m, res);
+    } else if (app == "particle") {
+        apps::ParticleConfig cfg;
+        cfg.rows = 32 * nodes;
+        cfg.cols = 64;
+        cfg.cycles = cycles;
+        cfg.boost_rows = 16;
+        cfg.boost_density = 4.0;
+        cfg.sec_per_particle = 2e-5;
+        apps::ParticleResult res;
+        m.run([&](msg::Rank& r) {
+            auto out = apps::run_particle(r, cfg);
+            if (r.id() == 0) res = out;
+        });
+        finish(m, res);
+    } else {
+        std::fprintf(stderr, "unknown app '%s'\n", app.c_str());
+        return 1;
+    }
+    return 0;
+}

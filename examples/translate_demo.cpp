@@ -1,0 +1,78 @@
+// translate_demo: the paper's §2.3 story, end to end.
+//
+// 1. Describe the paper's Figure 1 MPI program (arrays, the partitioned
+//    loop, its array references) in the translator IR.
+// 2. Run the DRSD analysis and print the generated Dyn-MPI program — compare
+//    with the paper's Figure 2.
+// 3. Execute the translated program on a simulated 4-node cluster where a
+//    competing process appears, and watch it adapt.
+//
+// Build & run:  ./examples/translate_demo
+#include <cstdio>
+
+#include "translate/translator.hpp"
+
+using namespace dynmpi;
+using namespace dynmpi::xlate;
+
+namespace {
+
+MpiProgram figure1() {
+    MpiProgram p;
+    p.name = "figure1_jacobi_like";
+    p.global_rows = 256;
+    p.arrays = {
+        ArrayDecl{"A", 64, sizeof(double), false, 0},
+        ArrayDecl{"B", 64, sizeof(double), false, 0},
+    };
+    LoopNest loop;
+    loop.lo = 0;
+    loop.hi = 256;
+    // A[i] = F(B, i): writes A[i], reads B[i-1], B[i], B[i+1].  The two
+    // offset reads are what an MPI programmer expressed as the explicit
+    // boundary exchange in Figure 1; here they come out of the local->global
+    // view conversion.
+    loop.refs = {
+        ArrayRef{"A", AccessMode::Write, false, 1, 0},
+        globalize("B", AccessMode::Read, 0),
+        globalize("B", AccessMode::Read, -1),
+        globalize("B", AccessMode::Read, +1),
+    };
+    p.loops.push_back(loop);
+    return p;
+}
+
+}  // namespace
+
+int main() {
+    MpiProgram program = figure1();
+    TranslationPlan plan = translate(program);
+
+    std::printf("=== generated Dyn-MPI program (compare paper Figure 2) "
+                "===\n\n%s\n",
+                emit_source(plan).c_str());
+
+    std::printf("=== executing the translated program ===\n");
+    sim::ClusterConfig cluster;
+    cluster.num_nodes = 4;
+    msg::Machine machine(cluster);
+    machine.cluster().add_load_interval(/*node=*/2, /*t=*/1.0, -1.0, 2);
+
+    TranslatedRunResult result;
+    machine.run([&](msg::Rank& rank) {
+        RuntimeOptions options;
+        options.enable_removal = false;
+        auto res = run_translated(rank, program, /*cycles=*/120,
+                                  /*sec_per_row=*/2e-3, options);
+        if (rank.id() == 0) result = res;
+    });
+
+    std::printf("cycles run        : %d\n", result.stats.cycles);
+    std::printf("redistributions   : %d\n", result.stats.redistributions);
+    std::printf("final block sizes :");
+    for (int c : result.final_counts) std::printf(" %d", c);
+    std::printf("\n(two competing processes landed on node 2 at t=1s — its "
+                "block shrank accordingly)\n");
+    std::printf("virtual elapsed   : %.2f s\n", machine.elapsed_seconds());
+    return 0;
+}

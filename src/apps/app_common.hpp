@@ -1,0 +1,55 @@
+// Shared plumbing for the four evaluation applications (paper §5).
+//
+// Each application is written once, against the Dyn-MPI runtime; the three
+// experimental versions of the paper fall out of configuration:
+//   - Dedicated:   no competing processes scripted (harness side),
+//   - No-Adapt:    RuntimeOptions.adapt = false (plain MPI behaviour),
+//   - Dyn-MPI:     adapt = true.
+//
+// Applications do *real* arithmetic on stored data (so tests can verify
+// numerics across redistributions) and charge *virtual* time through a cost
+// model calibrated to the paper's problem sizes: `sec_per_row` (or per
+// particle) expresses what one row of the paper-scale problem costs on an
+// unloaded reference CPU.  Stored row width can exceed the width the real
+// math touches so that redistribution traffic matches paper-scale rows
+// without paper-scale host arithmetic.
+#pragma once
+
+#include <functional>
+
+#include "dynmpi/runtime.hpp"
+#include "mpisim/machine.hpp"
+#include "mpisim/rank.hpp"
+
+namespace dynmpi::apps {
+
+/// Called on rank 0 at the top of every phase cycle — the harness uses it to
+/// script events in application time ("a competing process is introduced on
+/// the 10th iteration").
+using CycleHook = std::function<void(msg::Rank&, int cycle)>;
+
+/// Result fields common to every application.
+struct AppResult {
+    double checksum = 0.0; ///< app-specific correctness value
+    RuntimeStats stats;    ///< rank-0 runtime statistics
+    std::vector<int> final_counts;
+    int final_active = 0;
+    double elapsed_virtual_s = 0.0; ///< hrtime at app completion
+    /// Global per-row cost estimates from the last grace period (empty if
+    /// no adaptation ran) — lets tests judge measurement quality directly.
+    std::vector<double> last_row_costs;
+};
+
+inline void fire_hook(const CycleHook& hook, msg::Rank& rank, int cycle) {
+    if (hook && rank.id() == 0) hook(rank, cycle);
+}
+
+inline void fill_common_result(AppResult& out, Runtime& rt) {
+    out.stats = rt.stats();
+    out.final_counts = rt.distribution().counts();
+    out.final_active = rt.num_active();
+    out.elapsed_virtual_s = rt.rank().hrtime();
+    out.last_row_costs = rt.last_row_costs();
+}
+
+}  // namespace dynmpi::apps

@@ -1,0 +1,184 @@
+#include "apps/cg.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dynmpi::apps {
+
+namespace {
+
+/// Symmetric band offsets; values depend only on the unordered pair, so the
+/// matrix is symmetric by construction, and the diagonal dominates the
+/// absolute row sum, so it is positive definite.
+constexpr int kBand[] = {1, 7, 41};
+
+double offdiag_value(std::uint64_t seed, int lo, int hi) {
+    std::uint64_t h = hash_combine(hash_combine(seed, (std::uint64_t)lo),
+                                   (std::uint64_t)hi);
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return -0.1 - 0.4 * u; // in [-0.5, -0.1]; 6 entries < diag 4.0
+}
+
+double diag_value(std::uint64_t seed, int r) {
+    std::uint64_t h = hash_combine(seed ^ 0xD1A6ULL, (std::uint64_t)r);
+    return 4.0 + static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double rhs_value(int r) { return 1.0 + 0.01 * (r % 13); }
+
+/// Stored entries of row r: (col, value) pairs including the diagonal.
+std::vector<std::pair<int, double>> row_entries(const CgConfig& cfg, int r) {
+    std::vector<std::pair<int, double>> out;
+    for (int band : kBand) {
+        if (r - band >= 0)
+            out.emplace_back(r - band, offdiag_value(cfg.seed, r - band, r));
+    }
+    out.emplace_back(r, diag_value(cfg.seed, r));
+    for (int band : kBand) {
+        if (r + band < cfg.n)
+            out.emplace_back(r + band, offdiag_value(cfg.seed, r, r + band));
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<double> reference_cg_residuals(const CgConfig& cfg) {
+    const int n = cfg.n;
+    std::vector<double> x(n, 0.0), r(n), p(n), q(n);
+    for (int i = 0; i < n; ++i) r[(size_t)i] = rhs_value(i);
+    p = r;
+    double rr = 0.0;
+    for (int i = 0; i < n; ++i) rr += r[(size_t)i] * r[(size_t)i];
+
+    std::vector<double> history;
+    for (int it = 0; it < cfg.cycles; ++it) {
+        for (int i = 0; i < n; ++i) {
+            double s = 0.0;
+            for (auto [c, v] : row_entries(cfg, i)) s += v * p[(size_t)c];
+            q[(size_t)i] = s;
+        }
+        double pq = 0.0;
+        for (int i = 0; i < n; ++i) pq += p[(size_t)i] * q[(size_t)i];
+        double alpha = rr / pq;
+        for (int i = 0; i < n; ++i) {
+            x[(size_t)i] += alpha * p[(size_t)i];
+            r[(size_t)i] -= alpha * q[(size_t)i];
+        }
+        double rr_new = 0.0;
+        for (int i = 0; i < n; ++i) rr_new += r[(size_t)i] * r[(size_t)i];
+        double beta = rr_new / rr;
+        rr = rr_new;
+        for (int i = 0; i < n; ++i)
+            p[(size_t)i] = r[(size_t)i] + beta * p[(size_t)i];
+        history.push_back(rr);
+    }
+    return history;
+}
+
+CgResult run_cg(msg::Rank& rank, const CgConfig& config) {
+    const int n = config.n;
+    Runtime rt(rank, n, config.runtime);
+
+    SparseMatrix& A = rt.register_sparse("A", n);
+    DenseArray& X = rt.register_dense("x", 1, sizeof(double));
+    DenseArray& R = rt.register_dense("r", 1, sizeof(double));
+    DenseArray& P = rt.register_dense("p", 1, sizeof(double));
+    DenseArray& Q = rt.register_dense("q", 1, sizeof(double));
+
+    int ph = rt.init_phase(
+        0, n,
+        PhaseComm{CommPattern::AllGather,
+                  static_cast<std::size_t>(n) * sizeof(double)});
+    for (const char* name : {"A", "x", "r", "p", "q"})
+        rt.add_array_access(name, AccessMode::Write, ph, 1, 0);
+    rt.commit_setup();
+
+    // Build this node's matrix rows and vector entries.
+    auto init_rows = [&](const RowSet& rows) {
+        for (int i : rows.to_vector()) {
+            for (auto [c, v] : row_entries(config, i)) A.set(i, c, v);
+            X.at<double>(i, 0) = 0.0;
+            R.at<double>(i, 0) = rhs_value(i);
+            P.at<double>(i, 0) = rhs_value(i);
+            Q.at<double>(i, 0) = 0.0;
+        }
+    };
+    init_rows(rt.my_iters(ph));
+
+    auto local_dot = [&](DenseArray& a, DenseArray& b) {
+        double s = 0.0;
+        for (int i : rt.my_iters(ph).to_vector())
+            s += a.at<double>(i, 0) * b.at<double>(i, 0);
+        return s;
+    };
+
+    double rr = rt.allreduce_active(
+        rt.participating() ? local_dot(R, R) : 0.0, msg::OpSum{});
+
+    CgResult out;
+    for (int cycle = 0; cycle < config.cycles; ++cycle) {
+        fire_hook(config.on_cycle, rank, cycle);
+        rt.begin_cycle();
+        if (rt.participating()) {
+            // Gather the full search direction p (AllGather pattern).
+            std::vector<double> mine;
+            std::vector<int> my_rows = rt.my_iters(ph).to_vector();
+            mine.reserve(my_rows.size());
+            for (int i : my_rows) mine.push_back(P.at<double>(i, 0));
+            auto gathered =
+                msg::allgather(rank, rt.active_group(), mine);
+            std::vector<double> full_p(static_cast<std::size_t>(n), 0.0);
+            for (int rel = 0; rel < rt.num_active(); ++rel) {
+                auto rows = rt.distribution().iters_of(rel).to_vector();
+                const auto& vals = gathered[static_cast<std::size_t>(rel)];
+                DYNMPI_CHECK(vals.size() == rows.size(),
+                             "gathered p misaligned");
+                for (std::size_t k = 0; k < rows.size(); ++k)
+                    full_p[static_cast<std::size_t>(rows[k])] = vals[k];
+            }
+
+            // q = A * p over my rows; virtual cost tracks stored entries.
+            std::vector<double> costs;
+            costs.reserve(my_rows.size());
+            for (int i : my_rows) {
+                double s = 0.0;
+                for (const auto& e : A.row(i))
+                    s += e.value * full_p[static_cast<std::size_t>(e.col)];
+                Q.at<double>(i, 0) = s;
+                costs.push_back(config.sec_per_nnz * A.row_nnz(i));
+            }
+            rt.run_phase(ph, costs);
+        }
+
+        double pq = rt.allreduce_active(
+            rt.participating() ? local_dot(P, Q) : 0.0, msg::OpSum{});
+        double alpha = rr / pq;
+        if (rt.participating()) {
+            for (int i : rt.my_iters(ph).to_vector()) {
+                X.at<double>(i, 0) += alpha * P.at<double>(i, 0);
+                R.at<double>(i, 0) -= alpha * Q.at<double>(i, 0);
+            }
+        }
+        double rr_new = rt.allreduce_active(
+            rt.participating() ? local_dot(R, R) : 0.0, msg::OpSum{});
+        double beta = rr_new / rr;
+        rr = rr_new;
+        if (rt.participating()) {
+            for (int i : rt.my_iters(ph).to_vector())
+                P.at<double>(i, 0) =
+                    R.at<double>(i, 0) + beta * P.at<double>(i, 0);
+        }
+        out.residual_history.push_back(rr);
+        rt.end_cycle();
+    }
+
+    out.residual_norm2 = rr;
+    out.checksum = rr;
+    fill_common_result(out, rt);
+    return out;
+}
+
+}  // namespace dynmpi::apps

@@ -1,0 +1,31 @@
+// Jacobi iteration (paper §5.1, §5.2): the five-point stencil PDE solver.
+//
+// Two dense arrays ping-pong as read/write targets each phase cycle; the
+// boundary rows of the read array are exchanged with nearest neighbors.  The
+// paper runs 2048x2048 doubles for 250 iterations; the default virtual cost
+// model reproduces that scale while the real arithmetic runs on a narrower
+// stored stripe (cols_math <= cols_stored).
+#pragma once
+
+#include "apps/app_common.hpp"
+
+namespace dynmpi::apps {
+
+struct JacobiConfig {
+    int rows = 256;        ///< distributed dimension (paper: 2048)
+    int cols_stored = 64;  ///< stored row width (redistribution payload)
+    int cols_math = 32;    ///< columns the real stencil touches
+    int cycles = 50;       ///< phase cycles (paper: 250)
+    double sec_per_row = 1e-4; ///< unloaded reference cost per row per cycle
+    RuntimeOptions runtime;
+    CycleHook on_cycle;
+};
+
+struct JacobiResult : AppResult {
+    // checksum = global sum of the final read array's interior.
+};
+
+/// SPMD body; call from every rank of a Machine.
+JacobiResult run_jacobi(msg::Rank& rank, const JacobiConfig& config);
+
+}  // namespace dynmpi::apps

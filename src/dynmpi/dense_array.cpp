@@ -1,0 +1,196 @@
+#include "dynmpi/dense_array.hpp"
+
+#include <cstring>
+
+namespace dynmpi {
+
+DenseArray::DenseArray(std::string name, int global_rows, int row_elems,
+                       std::size_t elem_bytes)
+    : DistArray(std::move(name), global_rows),
+      row_elems_(row_elems),
+      elem_bytes_(elem_bytes) {
+    DYNMPI_REQUIRE(row_elems_ > 0, "extended row needs elements");
+    DYNMPI_REQUIRE(elem_bytes_ > 0, "element size must be positive");
+}
+
+std::byte* DenseArray::row_data(int row) {
+    auto it = rows_.find(row);
+    DYNMPI_REQUIRE(it != rows_.end(), "access to non-held row of " + name_);
+    return it->second.data();
+}
+
+const std::byte* DenseArray::row_data(int row) const {
+    auto it = rows_.find(row);
+    DYNMPI_REQUIRE(it != rows_.end(), "access to non-held row of " + name_);
+    return it->second.data();
+}
+
+std::vector<std::byte> DenseArray::pack_rows(const RowSet& rows) const {
+    std::vector<std::byte> out;
+    out.reserve(4 + static_cast<std::size_t>(rows.count()) *
+                        (12 + row_bytes()));
+    put_u32(out, static_cast<std::uint32_t>(rows.count()));
+    for (int r : rows.to_vector()) {
+        const std::byte* data = row_data(r);
+        put_u32(out, static_cast<std::uint32_t>(r));
+        put_u64(out, row_bytes());
+        out.insert(out.end(), data, data + row_bytes());
+    }
+    stats_.bytes_packed += out.size();
+    return out;
+}
+
+void DenseArray::unpack_rows(const std::vector<std::byte>& data) {
+    std::size_t pos = 0;
+    std::uint32_t nrows = get_u32(data, pos);
+    for (std::uint32_t k = 0; k < nrows; ++k) {
+        int row = static_cast<int>(get_u32(data, pos));
+        std::uint64_t nbytes = get_u64(data, pos);
+        DYNMPI_REQUIRE(nbytes == row_bytes(), "dense row size mismatch");
+        DYNMPI_REQUIRE(pos + nbytes <= data.size(), "truncated dense row");
+        auto [it, inserted] = rows_.try_emplace(row);
+        if (inserted) {
+            it->second.resize(row_bytes());
+            ++stats_.rows_allocated;
+        }
+        std::memcpy(it->second.data(), data.data() + pos, nbytes);
+        pos += nbytes;
+        held_.add(row, row + 1);
+    }
+    stats_.bytes_unpacked += data.size();
+}
+
+void DenseArray::drop_rows(const RowSet& rows) {
+    for (int r : rows.to_vector()) {
+        if (rows_.erase(r) > 0) ++stats_.rows_freed;
+    }
+    held_ = held_.subtract(rows);
+}
+
+void DenseArray::ensure_rows(const RowSet& rows) {
+    for (int r : rows.to_vector()) {
+        DYNMPI_REQUIRE(r >= 0 && r < global_rows_, "row out of range");
+        auto [it, inserted] = rows_.try_emplace(r);
+        if (inserted) {
+            it->second.assign(row_bytes(), std::byte{0});
+            ++stats_.rows_allocated;
+        }
+    }
+    held_.add(rows);
+}
+
+// ---------------------------------------------------------------------------
+// ContiguousDenseArray
+// ---------------------------------------------------------------------------
+
+ContiguousDenseArray::ContiguousDenseArray(std::string name, int global_rows,
+                                           int row_elems,
+                                           std::size_t elem_bytes)
+    : DistArray(std::move(name), global_rows),
+      row_elems_(row_elems),
+      elem_bytes_(elem_bytes) {
+    DYNMPI_REQUIRE(row_elems_ > 0, "extended row needs elements");
+    DYNMPI_REQUIRE(elem_bytes_ > 0, "element size must be positive");
+}
+
+std::byte* ContiguousDenseArray::row_data(int row) {
+    DYNMPI_REQUIRE(held_.contains(row), "access to non-held row of " + name_);
+    return buffer_.data() + static_cast<std::size_t>(row - base_) * row_bytes();
+}
+
+const std::byte* ContiguousDenseArray::row_data(int row) const {
+    DYNMPI_REQUIRE(held_.contains(row), "access to non-held row of " + name_);
+    return buffer_.data() + static_cast<std::size_t>(row - base_) * row_bytes();
+}
+
+void ContiguousDenseArray::reextent(int lo, int hi) {
+    if (lo == base_ && hi == base_ + extent_) return;
+    std::vector<std::byte> next(static_cast<std::size_t>(hi - lo) *
+                                    row_bytes(),
+                                std::byte{0});
+    // Copy surviving rows into their (shifted) positions — this is the cost
+    // the projection scheme avoids.
+    int keep_lo = std::max(lo, base_);
+    int keep_hi = std::min(hi, base_ + extent_);
+    if (keep_lo < keep_hi) {
+        std::size_t bytes =
+            static_cast<std::size_t>(keep_hi - keep_lo) * row_bytes();
+        std::memcpy(next.data() +
+                        static_cast<std::size_t>(keep_lo - lo) * row_bytes(),
+                    buffer_.data() +
+                        static_cast<std::size_t>(keep_lo - base_) * row_bytes(),
+                    bytes);
+        stats_.bytes_copied += bytes;
+    }
+    int grown = std::max(0, (hi - lo) - extent_);
+    stats_.rows_allocated += static_cast<std::uint64_t>(grown);
+    int shrunk = std::max(0, extent_ - (hi - lo));
+    stats_.rows_freed += static_cast<std::uint64_t>(shrunk);
+    ++stats_.reallocations;
+    buffer_ = std::move(next);
+    base_ = lo;
+    extent_ = hi - lo;
+}
+
+std::vector<std::byte> ContiguousDenseArray::pack_rows(const RowSet& rows) const {
+    std::vector<std::byte> out;
+    put_u32(out, static_cast<std::uint32_t>(rows.count()));
+    for (int r : rows.to_vector()) {
+        put_u32(out, static_cast<std::uint32_t>(r));
+        put_u64(out, row_bytes());
+        const std::byte* data = row_data(r);
+        out.insert(out.end(), data, data + row_bytes());
+    }
+    stats_.bytes_packed += out.size();
+    return out;
+}
+
+void ContiguousDenseArray::unpack_rows(const std::vector<std::byte>& data) {
+    std::size_t pos = 0;
+    std::uint32_t nrows = get_u32(data, pos);
+    // First pass: find the new extent.
+    RowSet incoming;
+    std::size_t scan = pos;
+    for (std::uint32_t k = 0; k < nrows; ++k) {
+        int row = static_cast<int>(get_u32(data, scan));
+        std::uint64_t nbytes = get_u64(data, scan);
+        scan += nbytes;
+        incoming.add(row, row + 1);
+    }
+    if (nrows > 0) {
+        int lo = extent_ == 0 ? incoming.first() : std::min(base_, incoming.first());
+        int hi = extent_ == 0 ? incoming.last() + 1
+                              : std::max(base_ + extent_, incoming.last() + 1);
+        reextent(lo, hi);
+    }
+    for (std::uint32_t k = 0; k < nrows; ++k) {
+        int row = static_cast<int>(get_u32(data, pos));
+        std::uint64_t nbytes = get_u64(data, pos);
+        DYNMPI_REQUIRE(nbytes == row_bytes(), "dense row size mismatch");
+        held_.add(row, row + 1);
+        std::memcpy(buffer_.data() +
+                        static_cast<std::size_t>(row - base_) * row_bytes(),
+                    data.data() + pos, nbytes);
+        pos += nbytes;
+    }
+    stats_.bytes_unpacked += data.size();
+}
+
+void ContiguousDenseArray::drop_rows(const RowSet& rows) {
+    held_ = held_.subtract(rows);
+    if (held_.empty()) {
+        reextent(0, 0);
+        return;
+    }
+    // Shrink the buffer to the held span (copies survivors).
+    reextent(held_.first(), held_.last() + 1);
+}
+
+void ContiguousDenseArray::ensure_rows(const RowSet& rows) {
+    if (rows.empty()) return;
+    RowSet target = held_.unite(rows);
+    reextent(target.first(), target.last() + 1);
+    held_ = target;
+}
+
+}  // namespace dynmpi

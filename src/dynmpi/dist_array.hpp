@@ -1,0 +1,84 @@
+// Base interface for redistributable arrays (paper §4.1).
+//
+// Dyn-MPI can only redistribute data it allocated, so every redistributable
+// array is registered with the runtime and implements this interface: rows
+// can be packed into a flat message, unpacked on arrival, dropped, or
+// allocated fresh.  Dense and sparse arrays share the interface — the
+// near-uniform allocation scheme is one of the paper's contributions.
+//
+// Pack wire format (shared by all implementations):
+//   u32 nrows, then per row: u32 row_id, u64 payload_bytes, payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dynmpi/row_set.hpp"
+
+namespace dynmpi {
+
+class DistArray {
+public:
+    struct Stats {
+        std::uint64_t rows_allocated = 0;
+        std::uint64_t rows_freed = 0;
+        std::uint64_t bytes_packed = 0;
+        std::uint64_t bytes_unpacked = 0;
+        std::uint64_t bytes_copied = 0; ///< data moved by (re)allocation
+        std::uint64_t reallocations = 0;
+    };
+
+    DistArray(std::string name, int global_rows);
+    virtual ~DistArray() = default;
+
+    const std::string& name() const { return name_; }
+    int global_rows() const { return global_rows_; }
+
+    /// Rows currently stored on this node.
+    const RowSet& held() const { return held_; }
+    bool has_row(int row) const { return held_.contains(row); }
+
+    /// Serialize the given (held) rows for transfer.
+    virtual std::vector<std::byte> pack_rows(const RowSet& rows) const = 0;
+
+    /// Deserialize rows produced by pack_rows (possibly from another node);
+    /// the rows become held, replacing any local copies.
+    virtual void unpack_rows(const std::vector<std::byte>& data) = 0;
+
+    /// Release storage for the given rows.
+    virtual void drop_rows(const RowSet& rows) = 0;
+
+    /// Allocate (zero/empty) storage for any of `rows` not yet held.
+    virtual void ensure_rows(const RowSet& rows) = 0;
+
+    /// Keep only `keep`; everything else is dropped.
+    void retain_only(const RowSet& keep);
+
+    /// Expected storage per row (dense: exact; sparse: current average) —
+    /// the basis for memory-aware balancing.
+    virtual std::size_t nominal_row_bytes() const = 0;
+
+    /// Actual bytes of application data held locally right now.
+    virtual std::size_t local_bytes() const = 0;
+
+    const Stats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+protected:
+    // ---- pack-format helpers for implementations ----
+    static void put_u32(std::vector<std::byte>& out, std::uint32_t v);
+    static void put_u64(std::vector<std::byte>& out, std::uint64_t v);
+    static std::uint32_t get_u32(const std::vector<std::byte>& in,
+                                 std::size_t& pos);
+    static std::uint64_t get_u64(const std::vector<std::byte>& in,
+                                 std::size_t& pos);
+
+    std::string name_;
+    int global_rows_;
+    RowSet held_;
+    mutable Stats stats_;
+};
+
+}  // namespace dynmpi

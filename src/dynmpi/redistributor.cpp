@@ -1,0 +1,117 @@
+#include "dynmpi/redistributor.hpp"
+
+#include <algorithm>
+
+#include "mpisim/tags.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dynmpi {
+
+RowSet owned_rows(const msg::Group& active, const Distribution& dist,
+                  int abs_rank) {
+    int rel = active.index_of(abs_rank);
+    if (rel < 0) return {};
+    return dist.iters_of(rel);
+}
+
+RowSet needed_rows(const msg::Group& active, const Distribution& dist,
+                   int abs_rank, const std::vector<Drsd>& accesses,
+                   int global_rows) {
+    int rel = active.index_of(abs_rank);
+    if (rel < 0) return {};
+    RowSet iters = dist.iters_of(rel);
+    RowSet need = iters.clip(0, global_rows);
+    need.add(rows_needed(accesses, iters, global_rows));
+    return need;
+}
+
+RowSet transfer_rows(const RedistContext& ctx,
+                     const std::vector<Drsd>& accesses, int src_abs,
+                     int dst_abs) {
+    DYNMPI_REQUIRE(ctx.old_active && ctx.old_dist && ctx.new_active &&
+                       ctx.new_dist,
+                   "incomplete redistribution context");
+    if (src_abs == dst_abs) return {};
+    RowSet src_owned = owned_rows(*ctx.old_active, *ctx.old_dist, src_abs);
+    if (src_owned.empty()) return {};
+    RowSet dst_need = needed_rows(*ctx.new_active, *ctx.new_dist, dst_abs,
+                                  accesses, ctx.global_rows);
+    RowSet dst_old_owned =
+        owned_rows(*ctx.old_active, *ctx.old_dist, dst_abs);
+    return src_owned.intersect(dst_need.subtract(dst_old_owned));
+}
+
+namespace {
+
+std::uint64_t redist_tag(std::uint64_t seq, std::size_t array_idx, int src,
+                         int dst) {
+    std::uint64_t h = hash_combine(seq, array_idx);
+    h = hash_combine(h, static_cast<std::uint64_t>(src));
+    h = hash_combine(h, static_cast<std::uint64_t>(dst));
+    return msg::make_tag(msg::TagSpace::Runtime, h);
+}
+
+}  // namespace
+
+RedistStats execute_redistribution(msg::Rank& rank, const RedistContext& ctx,
+                                   std::vector<ArrayInfo>& arrays,
+                                   std::uint64_t redist_seq) {
+    RedistStats stats;
+    const int me = rank.id();
+
+    // Union of participants, in ascending absolute-rank order for
+    // deterministic traversal.
+    std::vector<int> parties;
+    for (int r = 0; r < rank.size(); ++r)
+        if (ctx.old_active->contains(r) || ctx.new_active->contains(r))
+            parties.push_back(r);
+
+    // Phase 1: pack and send everything (eager, buffered — no deadlock).
+    for (std::size_t k = 0; k < arrays.size(); ++k) {
+        for (int dst : parties) {
+            RowSet rows = transfer_rows(ctx, arrays[k].accesses, me, dst);
+            if (rows.empty()) continue;
+            auto payload = arrays[k].array->pack_rows(rows);
+            stats.rows_moved += static_cast<std::uint64_t>(rows.count());
+            stats.bytes += payload.size();
+            ++stats.messages;
+            rank.send_wire(dst, redist_tag(redist_seq, k, me, dst),
+                           payload.data(), payload.size());
+        }
+    }
+
+    // Phase 2: receive and unpack the symmetric plan.
+    for (std::size_t k = 0; k < arrays.size(); ++k) {
+        for (int src : parties) {
+            RowSet rows = transfer_rows(ctx, arrays[k].accesses, src, me);
+            if (rows.empty()) continue;
+            auto payload =
+                rank.recv_wire(src, redist_tag(redist_seq, k, src, me));
+            arrays[k].array->unpack_rows(payload);
+        }
+    }
+
+    // Phase 2.5: redistribution is a synchronization point — no node may
+    // resume computing until every transfer has landed, otherwise the drain
+    // leaks into the next cycle's measurements.
+    if (parties.size() > 1 &&
+        std::find(parties.begin(), parties.end(), me) != parties.end())
+        msg::barrier(rank, msg::Group(parties));
+
+    // Phase 3: drop what is no longer needed, allocate anything still
+    // missing (e.g. ghost slots the application fills via its own halo
+    // exchange), and verify coverage.
+    for (auto& info : arrays) {
+        RowSet need = needed_rows(*ctx.new_active, *ctx.new_dist, me,
+                                  info.accesses, ctx.global_rows);
+        info.array->retain_only(need);
+        info.array->ensure_rows(need);
+        DYNMPI_CHECK(info.array->held() == need,
+                     "redistribution left " + info.array->name() +
+                         " with wrong row coverage");
+    }
+    return stats;
+}
+
+}  // namespace dynmpi

@@ -1,0 +1,42 @@
+// Human-readable reporting over RuntimeStats.
+//
+// Benches and examples repeatedly need the same three views of a run:
+// a summary block, a per-period accounting, and an ASCII timeline of cycle
+// times with adaptation markers.  Keeping them here keeps the harnesses
+// short and the output uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dynmpi/runtime.hpp"
+
+namespace dynmpi {
+
+/// One-paragraph summary: cycles, adaptations, drops/re-adds, redistribution
+/// overhead, transfer volume.
+std::string summarize(const RuntimeStats& stats);
+
+/// ASCII timeline: one bar per `bucket` cycles, bar length proportional to
+/// the mean cycle wall in the bucket; 'R' marks buckets containing a
+/// redistribution, 'g'/'p' mark grace / post-grace activity.
+std::string render_timeline(const RuntimeStats& stats, int bucket = 10,
+                            int width = 50);
+
+/// Sum of cycle wall times split at the given cycle boundaries (e.g. the
+/// three periods of the Figure 5 experiment).  boundaries must be ascending;
+/// returns boundaries.size()+1 sums.
+std::vector<double> period_sums(const RuntimeStats& stats,
+                                const std::vector<int>& boundaries);
+
+/// Mean of max_wall_s over the last `n` cycles (settled cycle time).
+double settled_cycle_time(const RuntimeStats& stats, int n);
+
+/// One line per adaptation event: "t=2.21s cyc 21  redistributed  blocks ...".
+std::string render_events(const RuntimeStats& stats);
+
+/// Cycle history as CSV ("cycle,start_s,wall_s,max_wall_s,mode,redistributed")
+/// for external plotting.
+std::string history_csv(const RuntimeStats& stats);
+
+}  // namespace dynmpi

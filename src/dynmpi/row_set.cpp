@@ -1,0 +1,115 @@
+#include "dynmpi/row_set.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace dynmpi {
+
+RowSet::RowSet(int lo, int hi) {
+    DYNMPI_REQUIRE(lo <= hi, "interval must have lo <= hi");
+    if (lo < hi) intervals_.push_back({lo, hi});
+}
+
+void RowSet::normalize() {
+    if (intervals_.empty()) return;
+    std::sort(intervals_.begin(), intervals_.end(),
+              [](const RowInterval& a, const RowInterval& b) {
+                  return a.lo < b.lo;
+              });
+    std::vector<RowInterval> merged;
+    for (const auto& iv : intervals_) {
+        if (iv.empty()) continue;
+        if (!merged.empty() && iv.lo <= merged.back().hi)
+            merged.back().hi = std::max(merged.back().hi, iv.hi);
+        else
+            merged.push_back(iv);
+    }
+    intervals_ = std::move(merged);
+}
+
+void RowSet::add(int lo, int hi) {
+    DYNMPI_REQUIRE(lo <= hi, "interval must have lo <= hi");
+    if (lo == hi) return;
+    intervals_.push_back({lo, hi});
+    normalize();
+}
+
+void RowSet::add(const RowSet& other) {
+    intervals_.insert(intervals_.end(), other.intervals_.begin(),
+                      other.intervals_.end());
+    normalize();
+}
+
+RowSet RowSet::unite(const RowSet& other) const {
+    RowSet r = *this;
+    r.add(other);
+    return r;
+}
+
+RowSet RowSet::intersect(const RowSet& other) const {
+    RowSet out;
+    std::size_t i = 0, j = 0;
+    while (i < intervals_.size() && j < other.intervals_.size()) {
+        const RowInterval& a = intervals_[i];
+        const RowInterval& b = other.intervals_[j];
+        int lo = std::max(a.lo, b.lo);
+        int hi = std::min(a.hi, b.hi);
+        if (lo < hi) out.intervals_.push_back({lo, hi});
+        if (a.hi < b.hi)
+            ++i;
+        else
+            ++j;
+    }
+    return out; // already sorted & disjoint
+}
+
+RowSet RowSet::subtract(const RowSet& other) const {
+    RowSet out;
+    for (const auto& a : intervals_) {
+        int cur = a.lo;
+        for (const auto& b : other.intervals_) {
+            if (b.hi <= cur) continue;
+            if (b.lo >= a.hi) break;
+            if (b.lo > cur) out.intervals_.push_back({cur, b.lo});
+            cur = std::max(cur, b.hi);
+            if (cur >= a.hi) break;
+        }
+        if (cur < a.hi) out.intervals_.push_back({cur, a.hi});
+    }
+    return out; // construction preserves sorted, disjoint order
+}
+
+bool RowSet::contains(int row) const {
+    for (const auto& iv : intervals_) {
+        if (row < iv.lo) return false;
+        if (row < iv.hi) return true;
+    }
+    return false;
+}
+
+int RowSet::count() const {
+    int n = 0;
+    for (const auto& iv : intervals_) n += iv.size();
+    return n;
+}
+
+std::vector<int> RowSet::to_vector() const {
+    std::vector<int> v;
+    v.reserve(static_cast<std::size_t>(count()));
+    for (const auto& iv : intervals_)
+        for (int r = iv.lo; r < iv.hi; ++r) v.push_back(r);
+    return v;
+}
+
+int RowSet::first() const {
+    DYNMPI_REQUIRE(!empty(), "first() on empty RowSet");
+    return intervals_.front().lo;
+}
+
+int RowSet::last() const {
+    DYNMPI_REQUIRE(!empty(), "last() on empty RowSet");
+    return intervals_.back().hi - 1;
+}
+
+}  // namespace dynmpi

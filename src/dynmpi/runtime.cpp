@@ -1,0 +1,749 @@
+#include "dynmpi/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <unordered_map>
+
+#include "mpisim/rank.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/rng.hpp"
+
+namespace dynmpi {
+
+Runtime::Runtime(msg::Rank& rank, int global_rows, RuntimeOptions opts)
+    : rank_(rank),
+      global_rows_(global_rows),
+      opts_(std::move(opts)),
+      world_(msg::Group::world(rank)),
+      active_(world_) {
+    DYNMPI_REQUIRE(global_rows_ > 0, "need at least one row");
+    DYNMPI_REQUIRE(opts_.grace_cycles > 0 && opts_.post_grace_cycles > 0,
+                   "grace periods must be positive");
+    opts_.timing.grace_cycles = opts_.grace_cycles;
+    dist_ = opts_.initial_dist == Distribution::Kind::Block
+                ? Distribution::even_block(0, global_rows_, world_.size())
+                : Distribution::cyclic(0, global_rows_, world_.size(),
+                                       opts_.cyclic_block_size);
+}
+
+// ---------------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string counts_string(const std::vector<int>& counts) {
+    std::string s;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i) s += '/';
+        s += std::to_string(counts[i]);
+    }
+    return s;
+}
+}  // namespace
+
+void Runtime::record_event(AdaptationEvent::Kind kind, std::string detail) {
+    AdaptationEvent e;
+    e.kind = kind;
+    e.cycle = stats_.cycles;
+    e.time_s = rank_.hrtime();
+    e.detail = std::move(detail);
+    stats_.events.push_back(std::move(e));
+}
+
+ArrayInfo& Runtime::info(const std::string& name) {
+    for (auto& a : arrays_)
+        if (a.array->name() == name) return a;
+    throw Error("unknown Dyn-MPI array: " + name);
+}
+
+DenseArray& Runtime::register_dense(const std::string& name, int row_elems,
+                                    std::size_t elem_bytes) {
+    DYNMPI_REQUIRE(!committed_, "registration after commit_setup");
+    ArrayInfo ai;
+    ai.array = std::make_unique<DenseArray>(name, global_rows_, row_elems,
+                                            elem_bytes);
+    arrays_.push_back(std::move(ai));
+    return static_cast<DenseArray&>(*arrays_.back().array);
+}
+
+SparseMatrix& Runtime::register_sparse(const std::string& name,
+                                       int global_cols) {
+    DYNMPI_REQUIRE(!committed_, "registration after commit_setup");
+    ArrayInfo ai;
+    ai.array =
+        std::make_unique<SparseMatrix>(name, global_rows_, global_cols);
+    arrays_.push_back(std::move(ai));
+    return static_cast<SparseMatrix&>(*arrays_.back().array);
+}
+
+int Runtime::init_phase(int lo, int hi, PhaseComm comm) {
+    DYNMPI_REQUIRE(!committed_, "init_phase after commit_setup");
+    DYNMPI_REQUIRE(lo >= 0 && hi <= global_rows_ && lo < hi,
+                   "phase bounds outside the iteration space");
+    Phase p;
+    p.lo = lo;
+    p.hi = hi;
+    p.comm = comm;
+    p.timer = IterationTimer(opts_.timing);
+    phases_.push_back(std::move(p));
+    return static_cast<int>(phases_.size()) - 1;
+}
+
+void Runtime::add_array_access(const std::string& array, AccessMode mode,
+                               int phase, int a, int b) {
+    DYNMPI_REQUIRE(!committed_, "add_array_access after commit_setup");
+    DYNMPI_REQUIRE(phase >= 0 && phase < static_cast<int>(phases_.size()),
+                   "unknown phase");
+    info(array).accesses.push_back(Drsd{array, mode, phase, a, b});
+}
+
+void Runtime::commit_setup() {
+    DYNMPI_REQUIRE(!committed_, "commit_setup called twice");
+    DYNMPI_REQUIRE(!phases_.empty(), "define at least one phase");
+
+    comm_costs_ = opts_.calibrate ? calibrate_comm_costs(rank_, world_)
+                                  : opts_.comm_costs;
+    speeds_ = msg::allgather_scalar(rank_, world_, node_speed());
+    memories_ = msg::allgather_scalar(
+        rank_, world_, static_cast<double>(rank_.node().memory_bytes()));
+    // The baseline is the load the *current distribution* was computed for.
+    // The initial even-block split assumes dedicated nodes, so any load that
+    // already exists at startup must register as a change on cycle one.
+    baseline_loads_.assign(static_cast<std::size_t>(world_.size()), 0.0);
+
+    // Allocate this node's initial rows (zero-filled; the app initializes).
+    for (auto& ai : arrays_) {
+        RowSet need = needed_rows(active_, dist_, rank_.id(), ai.accesses,
+                                  global_rows_);
+        ai.array->ensure_rows(need);
+    }
+    row_costs_.assign(static_cast<std::size_t>(global_rows_), 0.0);
+    committed_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+bool Runtime::participating() const {
+    return active_.contains(rank_.id());
+}
+
+int Runtime::rel_rank() const {
+    int rel = active_.index_of(rank_.id());
+    DYNMPI_REQUIRE(rel >= 0, "rel_rank on a removed node");
+    return rel;
+}
+
+RowSet Runtime::my_iters(int phase) const {
+    DYNMPI_REQUIRE(phase >= 0 && phase < static_cast<int>(phases_.size()),
+                   "unknown phase");
+    if (!participating()) return {};
+    const Phase& p = phases_[static_cast<std::size_t>(phase)];
+    return dist_.iters_of(rel_rank()).clip(p.lo, p.hi);
+}
+
+int Runtime::start_iter(int phase) const {
+    RowSet it = my_iters(phase);
+    return it.empty() ? 0 : it.first();
+}
+
+int Runtime::end_iter(int phase) const {
+    RowSet it = my_iters(phase);
+    return it.empty() ? -1 : it.last();
+}
+
+DenseArray& Runtime::dense(const std::string& name) {
+    auto* p = dynamic_cast<DenseArray*>(info(name).array.get());
+    DYNMPI_REQUIRE(p != nullptr, name + " is not a dense array");
+    return *p;
+}
+
+SparseMatrix& Runtime::sparse(const std::string& name) {
+    auto* p = dynamic_cast<SparseMatrix*>(info(name).array.get());
+    DYNMPI_REQUIRE(p != nullptr, name + " is not a sparse matrix");
+    return *p;
+}
+
+double Runtime::my_load() const {
+    return rank_.ps_daemon().avg_competing();
+}
+
+double Runtime::node_speed() const {
+    return rank_.node().cpu().params().speed;
+}
+
+std::vector<int> Runtime::row_caps_for(const std::vector<int>& members) const {
+    std::vector<int> caps(members.size(), 0);
+    if (!opts_.memory_aware) return caps;
+    std::size_t per_row = 0;
+    for (const auto& ai : arrays_) per_row += ai.array->nominal_row_bytes();
+    if (per_row == 0) return caps;
+    for (std::size_t j = 0; j < members.size(); ++j) {
+        double mem = memories_[static_cast<std::size_t>(members[j])];
+        if (mem > 0)
+            caps[j] = static_cast<int>(mem / static_cast<double>(per_row));
+    }
+    return caps;
+}
+
+double Runtime::paging_factor() const {
+    double mem = memories_.empty()
+                     ? 0.0
+                     : memories_[static_cast<std::size_t>(rank_.id())];
+    if (mem <= 0) return 1.0;
+    std::size_t used = 0;
+    for (const auto& ai : arrays_) used += ai.array->local_bytes();
+    return static_cast<double>(used) > mem ? opts_.paging_slowdown : 1.0;
+}
+
+double Runtime::comm_cpu_for(int active_nodes) const {
+    double total = 0.0;
+    for (const auto& p : phases_)
+        total += comm_cpu_per_cycle(comm_costs_, p.comm, active_nodes);
+    return total;
+}
+
+double Runtime::comm_wire_for(int active_nodes) const {
+    double total = 0.0;
+    for (const auto& p : phases_)
+        total += comm_wire_per_cycle(comm_costs_, p.comm, active_nodes);
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// Messaging helpers
+// ---------------------------------------------------------------------------
+
+void Runtime::send_rel(int rel_dst, int tag, const void* data,
+                       std::size_t bytes) {
+    rank_.send(active_.member(rel_dst), tag, data, bytes);
+}
+
+std::size_t Runtime::recv_rel(int rel_src, int tag, void* data,
+                              std::size_t capacity) {
+    return rank_.recv(active_.member(rel_src), tag, data, capacity);
+}
+
+namespace {
+template <typename Op>
+double allreduce_sendout(msg::Rank& rank, const msg::Group& world,
+                         const msg::Group& active, double value, Op op,
+                         std::uint64_t seq) {
+    std::uint64_t tag = msg::make_tag(msg::TagSpace::Runtime,
+                                      hash_combine(0x5e4d007ULL, seq));
+    if (active.contains(rank.id())) {
+        double r = msg::allreduce_scalar(rank, active, value, op);
+        if (active.index_of(rank.id()) == 0) {
+            for (int w : world.members())
+                if (!active.contains(w))
+                    rank.send_wire(w, tag, &r, sizeof r);
+        }
+        return r;
+    }
+    auto bytes = rank.recv_wire(active.member(0), tag);
+    DYNMPI_CHECK(bytes.size() == sizeof(double), "bad send-out payload");
+    double r;
+    std::memcpy(&r, bytes.data(), sizeof r);
+    return r;
+}
+}  // namespace
+
+double Runtime::allreduce_active(double value, msg::OpSum op) {
+    return allreduce_sendout(rank_, world_, active_, value, op,
+                             sendout_seq_++);
+}
+
+double Runtime::allreduce_active(double value, msg::OpMax op) {
+    return allreduce_sendout(rank_, world_, active_, value, op,
+                             sendout_seq_++);
+}
+
+std::vector<double> Runtime::read_world_loads() {
+    // Relative rank 0 is the single reader of the daemon mesh (a consistent
+    // snapshot); the view is broadcast within the active group.
+    std::vector<double> loads;
+    if (rel_rank() == 0) {
+        loads.reserve(static_cast<std::size_t>(world_.size()));
+        for (int w : world_.members())
+            loads.push_back(
+                rank_.machine().cluster().daemon(w).avg_competing());
+    }
+    msg::bcast(rank_, active_, 0, loads);
+    DYNMPI_CHECK(static_cast<int>(loads.size()) == world_.size(),
+                 "bad load snapshot");
+    return loads;
+}
+
+// ---------------------------------------------------------------------------
+// Per-cycle driver
+// ---------------------------------------------------------------------------
+
+void Runtime::redistribute_manual(const std::vector<int>& counts) {
+    DYNMPI_REQUIRE(committed_, "redistribute_manual before commit_setup");
+    DYNMPI_REQUIRE(!in_cycle_, "redistribute_manual inside a cycle");
+    if (participating()) {
+        DYNMPI_REQUIRE(static_cast<int>(counts.size()) == active_.size(),
+                       "counts must cover the active set");
+        apply_distribution(active_,
+                           Distribution::block(0, global_rows_, counts));
+        record_event(AdaptationEvent::Kind::Redistributed,
+                     "manual: blocks " + counts_string(counts));
+    }
+}
+
+void Runtime::begin_cycle() {
+    DYNMPI_REQUIRE(committed_, "begin_cycle before commit_setup");
+    DYNMPI_REQUIRE(!in_cycle_, "begin_cycle without end_cycle");
+    in_cycle_ = true;
+    cycle_start_ = rank_.hrtime();
+    for (auto& p : phases_) p.measured_this_cycle = false;
+}
+
+void Runtime::run_phase(int phase, const std::vector<double>& row_costs) {
+    DYNMPI_REQUIRE(in_cycle_, "run_phase outside a cycle");
+    DYNMPI_REQUIRE(participating(), "run_phase on a removed node");
+    DYNMPI_REQUIRE(phase >= 0 && phase < static_cast<int>(phases_.size()),
+                   "unknown phase");
+    Phase& p = phases_[static_cast<std::size_t>(phase)];
+    RowSet iters = my_iters(phase);
+    DYNMPI_REQUIRE(static_cast<int>(row_costs.size()) == iters.count(),
+                   "row_costs must align with my_iters");
+
+    double paging = paging_factor();
+    msg::RowTimings t;
+    if (paging > 1.0) {
+        // Thrashing: every row costs paging_slowdown x its CPU time.  The
+        // grace-period measurements see the inflation, so even without
+        // memory-aware caps the balancer is pushed away from this node.
+        std::vector<double> inflated(row_costs);
+        for (double& c : inflated) c *= paging;
+        t = rank_.compute_rows(inflated);
+    } else {
+        t = rank_.compute_rows(row_costs);
+    }
+    if (mode_ == Mode::Grace && !p.measured_this_cycle) {
+        p.timer.record_cycle(t.wall, t.cpu, my_load(), node_speed());
+        p.measured_this_cycle = true;
+    }
+
+    // Loaded nodes arrive at the phase's synchronization point late by the
+    // scheduler's timeslice residue (see CpuParams::straggle_s).
+    double straggle = rank_.node().cpu().sync_straggle();
+    if (straggle > 0.0) rank_.sleep(straggle);
+}
+
+void Runtime::enter_grace() {
+    mode_ = Mode::Grace;
+    grace_count_ = 0;
+    for (std::size_t ph = 0; ph < phases_.size(); ++ph)
+        phases_[ph].timer.start(my_iters(static_cast<int>(ph)).count());
+}
+
+void Runtime::apply_distribution(const msg::Group& new_active,
+                                 const Distribution& new_dist) {
+    // Redistribution moves application data: full CPU + wire cost even when
+    // invoked from the (control-plane) monitoring path.
+    msg::Rank::ControlScope data_plane(rank_, /*enable=*/false);
+    double t0 = rank_.hrtime();
+    RedistContext ctx{global_rows_, &active_, &dist_, &new_active, &new_dist};
+    RedistStats ts = execute_redistribution(rank_, ctx, arrays_, redist_seq_++);
+    stats_.transfer.messages += ts.messages;
+    stats_.transfer.bytes += ts.bytes;
+    stats_.transfer.rows_moved += ts.rows_moved;
+    active_ = new_active;
+    dist_ = new_dist;
+    ++stats_.redistributions;
+    stats_.redist_wall_s += rank_.hrtime() - t0;
+}
+
+Runtime::GraceDecision Runtime::compute_grace_decision(
+    const std::vector<double>& world_loads) {
+    // Assemble my per-row unloaded cost estimates across phases, aligned to
+    // my owned rows in ascending order.
+    RowSet owned = participating() ? dist_.iters_of(rel_rank()) : RowSet{};
+    std::vector<int> owned_rows_vec = owned.to_vector();
+    std::unordered_map<int, std::size_t> pos;
+    for (std::size_t i = 0; i < owned_rows_vec.size(); ++i)
+        pos[owned_rows_vec[i]] = i;
+    std::vector<double> mine(owned_rows_vec.size(), 0.0);
+    for (std::size_t ph = 0; ph < phases_.size(); ++ph) {
+        Phase& p = phases_[ph];
+        RowSet iters = my_iters(static_cast<int>(ph));
+        if (iters.empty() || p.timer.cycles_recorded() == 0) continue;
+        std::vector<double> est = p.timer.estimates();
+        std::vector<int> rows = iters.to_vector();
+        DYNMPI_CHECK(est.size() == rows.size(), "estimate alignment");
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            mine[pos.at(rows[i])] += est[i];
+    }
+
+    // Active-group exchange: every active rank assembles the identical
+    // global cost vector (removed nodes own no rows and are synced through
+    // the status channel).
+    auto per_rank_costs = msg::allgather(rank_, active_, mine);
+    row_costs_.assign(static_cast<std::size_t>(global_rows_), 0.0);
+    for (int a = 0; a < active_.size(); ++a) {
+        RowSet rows = owned_rows(active_, dist_, active_.member(a));
+        auto vec = rows.to_vector();
+        const auto& costs = per_rank_costs[static_cast<std::size_t>(a)];
+        DYNMPI_CHECK(costs.size() == vec.size(),
+                     "cost vector does not match ownership");
+        for (std::size_t i = 0; i < vec.size(); ++i)
+            row_costs_[static_cast<std::size_t>(vec[i])] = costs[i];
+    }
+
+    // Candidate set: currently active nodes plus any unloaded node that can
+    // be added back (paper: nodes return when conditions change).
+    std::vector<int> candidates;
+    for (int w : world_.members())
+        if (active_.contains(w) ||
+            world_loads[static_cast<std::size_t>(w)] <= opts_.load_change_eps)
+            candidates.push_back(w);
+    msg::Group new_active(candidates);
+
+    BalanceInput in;
+    in.row_costs = row_costs_;
+    for (int w : candidates)
+        in.nodes.push_back(NodePower{speeds_[static_cast<std::size_t>(w)],
+                                     world_loads[static_cast<std::size_t>(w)]});
+    in.comm_cpu_per_node = comm_cpu_for(new_active.size());
+
+    std::vector<double> shares = opts_.scheme == BalanceScheme::RelativePower
+                                     ? naive_shares(in.nodes)
+                                     : successive_shares(in);
+    std::vector<int> counts =
+        blocks_from_shares(row_costs_, shares, /*min_rows=*/1);
+    counts = apply_row_caps(std::move(counts), row_caps_for(candidates));
+    Distribution new_dist = Distribution::block(0, global_rows_, counts);
+
+    (void)new_dist;
+
+    // Skip the redistribution if nothing materially changes — the threshold
+    // scales with the average block so it means the same thing at every
+    // machine size.
+    bool material = new_active != active_;
+    if (!material) {
+        double threshold = opts_.min_count_change *
+                           static_cast<double>(global_rows_) /
+                           static_cast<double>(new_active.size());
+        std::vector<int> old_counts = dist_.counts();
+        for (std::size_t j = 0; j < counts.size(); ++j)
+            if (std::abs(counts[j] - old_counts[j]) > threshold)
+                material = true;
+    }
+
+    GraceDecision d;
+    d.material = material;
+    d.new_active = new_active;
+    d.counts = std::move(counts);
+    d.loads = world_loads;
+    return d;
+}
+
+void Runtime::finish_post_grace(const std::vector<double>& world_loads) {
+    double measured =
+        std::accumulate(post_cycle_max_.begin(), post_cycle_max_.end(), 0.0) /
+        static_cast<double>(post_cycle_max_.size());
+
+    bool any_loaded = false;
+    for (int w : active_.members())
+        if (world_loads[static_cast<std::size_t>(w)] > opts_.load_change_eps)
+            any_loaded = true;
+
+    if (opts_.enable_removal && any_loaded && active_.size() > 1) {
+        BalanceInput in;
+        in.row_costs = row_costs_;
+        for (int w : active_.members())
+            in.nodes.push_back(
+                NodePower{speeds_[static_cast<std::size_t>(w)],
+                          world_loads[static_cast<std::size_t>(w)]});
+        in.comm_cpu_per_node = comm_cpu_for(active_.size());
+
+        int unloaded = 0;
+        for (const auto& n : in.nodes)
+            if (!n.loaded()) ++unloaded;
+        // With nothing unloaded to fall back on (or nothing loaded to shed),
+        // there is no removal question to evaluate.
+        if (unloaded == 0 || unloaded == static_cast<int>(in.nodes.size())) {
+            mode_ = Mode::Monitor;
+            return;
+        }
+
+        RemovalDecision d =
+            evaluate_removal(in, measured, comm_cpu_for(unloaded),
+                             comm_wire_for(unloaded));
+        if (opts_.force_drop_loaded && !d.unloaded_members.empty() &&
+            d.unloaded_members.size() < in.nodes.size())
+            d.drop = true;
+        if (d.drop) {
+            if (opts_.drop_mode == DropMode::Physical) {
+                std::vector<int> keep;
+                for (int j : d.unloaded_members)
+                    keep.push_back(active_.member(j));
+                msg::Group new_active(keep);
+                BalanceInput sub;
+                sub.row_costs = row_costs_;
+                for (int j : d.unloaded_members)
+                    sub.nodes.push_back(in.nodes[static_cast<std::size_t>(j)]);
+                sub.comm_cpu_per_node = comm_cpu_for(new_active.size());
+                auto shares = opts_.scheme == BalanceScheme::RelativePower
+                                  ? naive_shares(sub.nodes)
+                                  : successive_shares(sub);
+                auto counts = blocks_from_shares(row_costs_, shares, 1);
+                counts = apply_row_caps(std::move(counts),
+                                        row_caps_for(new_active.members()));
+                apply_distribution(
+                    new_active, Distribution::block(0, global_rows_, counts));
+                ++stats_.physical_drops;
+                record_event(AdaptationEvent::Kind::Dropped,
+                             "active now " +
+                                 std::to_string(active_.size()) + " nodes");
+            } else {
+                // Logical drop: loaded nodes stay in the active set (static
+                // relative ranks) but keep only a minimum assignment.
+                std::vector<double> shares(in.nodes.size(), 0.0);
+                BalanceInput sub;
+                sub.row_costs = row_costs_;
+                for (int j : d.unloaded_members)
+                    sub.nodes.push_back(in.nodes[static_cast<std::size_t>(j)]);
+                sub.comm_cpu_per_node = comm_cpu_for(active_.size());
+                auto sub_shares = opts_.scheme == BalanceScheme::RelativePower
+                                      ? naive_shares(sub.nodes)
+                                      : successive_shares(sub);
+                for (std::size_t k = 0; k < d.unloaded_members.size(); ++k)
+                    shares[static_cast<std::size_t>(d.unloaded_members[k])] =
+                        sub_shares[k];
+                auto counts = blocks_from_shares(row_costs_, shares,
+                                                 opts_.logical_min_rows);
+                counts = apply_row_caps(std::move(counts),
+                                        row_caps_for(active_.members()));
+                apply_distribution(
+                    active_, Distribution::block(0, global_rows_, counts));
+                ++stats_.logical_drops;
+                record_event(AdaptationEvent::Kind::LogicalDrop,
+                             "blocks " + counts_string(counts));
+            }
+        }
+    }
+    // Note: baseline_loads_ deliberately stays at the loads the current
+    // distribution was computed for — if the load profile shifted during the
+    // post-grace window, the very next Monitor cycle re-triggers adaptation.
+    mode_ = Mode::Monitor;
+}
+
+namespace {
+std::uint64_t status_tag(int cycle) {
+    return msg::make_tag(msg::TagSpace::Runtime,
+                         hash_combine(0x57A705ULL,
+                                      static_cast<std::uint64_t>(cycle)));
+}
+constexpr double kStatusSteady = 0.0;
+constexpr double kStatusReadd = 1.0;
+}  // namespace
+
+void Runtime::send_statuses(const msg::Group& active_before,
+                            const GraceDecision* decision) {
+    if (active_before.index_of(rank_.id()) != 0) return;
+    for (int w : world_.members()) {
+        if (active_before.contains(w)) continue;
+        std::vector<double> msg;
+        if (decision && decision->material && decision->new_active.contains(w)) {
+            // Re-add instruction: full state so the returning node can join
+            // the redistribution and the subsequent decisions.
+            msg.push_back(kStatusReadd);
+            msg.push_back(static_cast<double>(active_before.size()));
+            for (int m : active_before.members())
+                msg.push_back(static_cast<double>(m));
+            for (int c : dist_.counts()) msg.push_back(static_cast<double>(c));
+            msg.push_back(static_cast<double>(decision->new_active.size()));
+            for (int m : decision->new_active.members())
+                msg.push_back(static_cast<double>(m));
+            for (int c : decision->counts)
+                msg.push_back(static_cast<double>(c));
+            msg.push_back(static_cast<double>(redist_seq_));
+            for (double c : row_costs_) msg.push_back(c);
+            for (double l : decision->loads) msg.push_back(l);
+        } else {
+            msg.push_back(kStatusSteady);
+            const msg::Group& now =
+                decision && decision->material ? decision->new_active : active_;
+            msg.push_back(static_cast<double>(now.size()));
+            for (int m : now.members()) msg.push_back(static_cast<double>(m));
+        }
+        rank_.send_wire(w, status_tag(stats_.cycles), msg.data(),
+                        msg.size() * sizeof(double));
+    }
+}
+
+void Runtime::removed_cycle_follow() {
+    auto bytes = rank_.recv_wire(active_.member(0), status_tag(stats_.cycles));
+    DYNMPI_CHECK(bytes.size() % sizeof(double) == 0, "bad status payload");
+    std::vector<double> v(bytes.size() / sizeof(double));
+    std::memcpy(v.data(), bytes.data(), bytes.size());
+    std::size_t pos = 0;
+    auto next = [&] { return v.at(pos++); };
+    auto next_int = [&] { return static_cast<int>(next()); };
+
+    if (next() == kStatusSteady) {
+        int n = next_int();
+        std::vector<int> members;
+        for (int i = 0; i < n; ++i) members.push_back(next_int());
+        active_ = msg::Group(std::move(members));
+        DYNMPI_CHECK(!active_.contains(rank_.id()),
+                     "steady status while listed active");
+        return;
+    }
+
+    // Re-add: reconstruct both endpoints of the redistribution and join it.
+    int n_old = next_int();
+    std::vector<int> old_members, old_counts;
+    for (int i = 0; i < n_old; ++i) old_members.push_back(next_int());
+    for (int i = 0; i < n_old; ++i) old_counts.push_back(next_int());
+    int n_new = next_int();
+    std::vector<int> new_members, new_counts;
+    for (int i = 0; i < n_new; ++i) new_members.push_back(next_int());
+    for (int i = 0; i < n_new; ++i) new_counts.push_back(next_int());
+    redist_seq_ = static_cast<std::uint64_t>(next());
+    row_costs_.assign(static_cast<std::size_t>(global_rows_), 0.0);
+    for (int i = 0; i < global_rows_; ++i)
+        row_costs_[static_cast<std::size_t>(i)] = next();
+    baseline_loads_.assign(static_cast<std::size_t>(world_.size()), 0.0);
+    for (int i = 0; i < world_.size(); ++i)
+        baseline_loads_[static_cast<std::size_t>(i)] = next();
+
+    msg::Group old_active(std::move(old_members));
+    Distribution old_dist =
+        Distribution::block(0, global_rows_, std::move(old_counts));
+    msg::Group new_active(std::move(new_members));
+    Distribution new_dist =
+        Distribution::block(0, global_rows_, std::move(new_counts));
+
+    msg::Rank::ControlScope data_plane(rank_, /*enable=*/false);
+    double t0 = rank_.hrtime();
+    RedistContext ctx{global_rows_, &old_active, &old_dist, &new_active,
+                      &new_dist};
+    RedistStats ts = execute_redistribution(rank_, ctx, arrays_, redist_seq_++);
+    stats_.transfer.messages += ts.messages;
+    stats_.transfer.bytes += ts.bytes;
+    stats_.transfer.rows_moved += ts.rows_moved;
+    active_ = new_active;
+    dist_ = new_dist;
+    ++stats_.redistributions;
+    ++stats_.readds;
+    stats_.redist_wall_s += rank_.hrtime() - t0;
+    record_event(AdaptationEvent::Kind::Readded,
+                 "rejoined as one of " + std::to_string(active_.size()) +
+                     " nodes");
+    mode_ = Mode::PostGrace;
+    post_count_ = 0;
+    post_cycle_max_.clear();
+}
+
+void Runtime::active_cycle_monitor(CycleRecord& rec, double wall) {
+    const msg::Group active_before = active_;
+    const int me = rank_.id();
+
+    // Load-change detection: each active node contributes its own dmpi_ps
+    // delta; relative rank 0 folds in the removed nodes' daemons so a
+    // cleared load can trigger a re-add.
+    double delta =
+        std::fabs(my_load() - baseline_loads_[static_cast<std::size_t>(me)]);
+    if (rel_rank() == 0) {
+        for (int w : world_.members())
+            if (!active_.contains(w))
+                delta = std::max(
+                    delta,
+                    std::fabs(
+                        rank_.machine().cluster().daemon(w).avg_competing() -
+                        baseline_loads_[static_cast<std::size_t>(w)]));
+    }
+    std::vector<double> agg{delta, wall};
+    agg = msg::allreduce(rank_, active_, std::move(agg), msg::OpMax{});
+    rec.max_wall_s = agg[1];
+    bool load_changed = agg[0] > opts_.load_change_eps;
+
+    int redist_before = stats_.redistributions;
+    bool may_adapt = opts_.max_redistributions < 0 ||
+                     stats_.redistributions < opts_.max_redistributions;
+    GraceDecision decision;
+    const GraceDecision* decision_ptr = nullptr;
+
+    switch (mode_) {
+    case Mode::Monitor:
+        if (load_changed && may_adapt) {
+            record_event(AdaptationEvent::Kind::LoadChange,
+                         "max dmpi_ps delta " + fmt(agg[0], 2));
+            enter_grace();
+        }
+        break;
+    case Mode::Grace:
+        ++grace_count_;
+        if (grace_count_ >= opts_.grace_cycles) {
+            std::vector<double> loads = read_world_loads();
+            decision = compute_grace_decision(loads);
+            decision_ptr = &decision;
+            if (decision.new_active.size() > active_.size())
+                stats_.readds += decision.new_active.size() - active_.size();
+            // Returning nodes must learn about the redistribution before it
+            // starts, so statuses go out first.
+            send_statuses(active_before, decision_ptr);
+            if (decision.material) {
+                apply_distribution(
+                    decision.new_active,
+                    Distribution::block(0, global_rows_, decision.counts));
+                record_event(AdaptationEvent::Kind::Redistributed,
+                             "blocks " + counts_string(decision.counts));
+                mode_ = Mode::PostGrace;
+                post_count_ = 0;
+                post_cycle_max_.clear();
+            } else {
+                record_event(AdaptationEvent::Kind::Skipped,
+                             "change below threshold");
+                mode_ = Mode::Monitor;
+            }
+            baseline_loads_ = loads;
+        }
+        break;
+    case Mode::PostGrace:
+        post_cycle_max_.push_back(agg[1]);
+        ++post_count_;
+        if (post_count_ >= opts_.post_grace_cycles)
+            finish_post_grace(read_world_loads());
+        break;
+    }
+    if (!decision_ptr) send_statuses(active_before, nullptr);
+    rec.redistributed = stats_.redistributions != redist_before;
+}
+
+void Runtime::end_cycle() {
+    DYNMPI_REQUIRE(in_cycle_, "end_cycle without begin_cycle");
+    in_cycle_ = false;
+    double wall = rank_.hrtime() - cycle_start_;
+
+    CycleRecord rec;
+    rec.cycle = stats_.cycles;
+    rec.start_s = cycle_start_;
+    rec.wall_s = wall;
+    rec.max_wall_s = wall;
+    rec.mode = static_cast<int>(mode_);
+
+    if (opts_.adapt) {
+        // Everything below is daemon-band coordination, not app traffic.
+        msg::Rank::ControlScope control(rank_);
+        int redist_before = stats_.redistributions;
+        if (participating())
+            active_cycle_monitor(rec, wall);
+        else
+            removed_cycle_follow();
+        rec.redistributed = stats_.redistributions != redist_before;
+    }
+
+    stats_.history.push_back(rec);
+    ++stats_.cycles;
+}
+
+}  // namespace dynmpi

@@ -1,0 +1,284 @@
+// The Dyn-MPI runtime (paper §4): the public API an application uses.
+//
+// Lifecycle:
+//   Runtime rt(rank, N);
+//   rt.register_dense / register_sparse          — §4.1 allocation
+//   rt.init_phase, rt.add_array_access           — phases + DRSDs (§2.2)
+//   rt.commit_setup()                            — calibration µ-benchmarks,
+//                                                  initial distribution
+//   loop over phase cycles:
+//     rt.begin_cycle();
+//     if (rt.participating())
+//        ... compute on rt.start_iter()/end_iter(), exchange halos with
+//        rt.send_rel / rt.recv_rel, charge work via rt.run_phase(...) ...
+//     rt.end_cycle();                            — monitor, adapt (§4.2–4.4)
+//
+// end_cycle() drives a three-mode state machine executed identically on all
+// ranks (every decision is a pure function of world-collectively exchanged
+// data, so the ranks never disagree):
+//
+//   Monitor   — cheap per-cycle check: has any node's dmpi_ps load changed?
+//   Grace     — 5 cycles of per-iteration measurement (§4.2), then a new
+//               distribution via successive balancing (§4.3) and a live
+//               redistribution (§4.4).
+//   PostGrace — 10 cycles observing the new distribution; if the predicted
+//               all-unloaded configuration beats the measurement, loaded
+//               nodes are dropped — physically (removed from the active set
+//               and the relative-rank space) or logically (kept with a
+//               minimum assignment), per options.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dynmpi/balancer.hpp"
+#include "dynmpi/comm_model.hpp"
+#include "dynmpi/dense_array.hpp"
+#include "dynmpi/distribution.hpp"
+#include "dynmpi/redistributor.hpp"
+#include "dynmpi/sparse_matrix.hpp"
+#include "dynmpi/timing.hpp"
+#include "mpisim/collectives.hpp"
+
+namespace dynmpi {
+
+enum class DropMode { Physical, Logical };
+enum class BalanceScheme { SuccessiveBalancing, RelativePower };
+
+struct RuntimeOptions {
+    bool adapt = true; ///< false: behave like plain MPI (the No-Adapt baseline)
+    /// Initial distribution shape (paper §2.1: DMPI_BLOCK / DMPI_CYCLIC).
+    /// Adaptation always produces variable blocks; a cyclic program that
+    /// adapts is redistributed from its cyclic layout on the first change.
+    Distribution::Kind initial_dist = Distribution::Kind::Block;
+    int cyclic_block_size = 1;
+    int grace_cycles = 5;       ///< paper default (§4.2)
+    int post_grace_cycles = 10; ///< paper default (§4.4)
+    bool enable_removal = true;
+    /// Drop loaded nodes at the post-grace decision point regardless of the
+    /// §4.4 predictor (benches measure both configurations this way).
+    bool force_drop_loaded = false;
+    DropMode drop_mode = DropMode::Physical;
+    BalanceScheme scheme = BalanceScheme::SuccessiveBalancing;
+    bool calibrate = true; ///< run comm µ-benchmarks at commit_setup
+    CommCosts comm_costs;  ///< used directly when calibrate == false
+    TimingConfig timing;
+    int max_redistributions = -1;   ///< cap on adaptations; -1 = unlimited
+                                    ///< (Figure 5's "Redist Once" arm uses 1)
+    double load_change_eps = 0.5;   ///< dmpi_ps delta that triggers adaptation
+    double min_count_change = 0.1;  ///< skip redistribution unless some block
+                                    ///< changes by this fraction of an
+                                    ///< average block
+    int logical_min_rows = 1; ///< rows kept on logically dropped nodes
+    /// Memory-aware balancing (the AppLeS-style paging avoidance the paper
+    /// cites): cap each node's block so registered arrays fit its physical
+    /// memory.  Nodes over their memory page regardless (paging_slowdown x
+    /// compute), so turning this off makes the cost visible.
+    bool memory_aware = true;
+    double paging_slowdown = 4.0;
+};
+
+/// What happened in one phase cycle (for benches and tests).
+struct CycleRecord {
+    int cycle = 0;
+    double start_s = 0.0;
+    double wall_s = 0.0;     ///< this rank's begin→end wall time
+    double max_wall_s = 0.0; ///< active-set max (own wall when not adapting)
+    int mode = 0;            ///< 0 monitor / 1 grace / 2 post-grace
+    bool redistributed = false;
+};
+
+/// A structured record of one adaptation decision (for reports and tests).
+struct AdaptationEvent {
+    enum class Kind {
+        LoadChange,   ///< monitor detected a dmpi_ps delta; grace begins
+        Redistributed,///< a new distribution was applied
+        Skipped,      ///< grace ended but the change was immaterial
+        Dropped,      ///< loaded node(s) physically removed
+        LogicalDrop,  ///< loaded node(s) reduced to the minimum assignment
+        Readded,      ///< this node rejoined the active set
+    };
+    Kind kind = Kind::LoadChange;
+    int cycle = 0;
+    double time_s = 0.0;
+    std::string detail;
+};
+
+struct RuntimeStats {
+    int cycles = 0;
+    int redistributions = 0;
+    int physical_drops = 0;
+    int logical_drops = 0;
+    int readds = 0;
+    double redist_wall_s = 0.0; ///< total time spent inside redistributions
+    std::vector<CycleRecord> history;
+    std::vector<AdaptationEvent> events;
+    RedistStats transfer;
+};
+
+class Runtime {
+public:
+    /// `global_rows` is the size of the distributed dimension shared by all
+    /// registered arrays (and the iteration space of phases).
+    Runtime(msg::Rank& rank, int global_rows, RuntimeOptions opts = {});
+
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    // ---- setup (before commit_setup) ----
+
+    DenseArray& register_dense(const std::string& name, int row_elems,
+                               std::size_t elem_bytes);
+    SparseMatrix& register_sparse(const std::string& name, int global_cols);
+
+    /// Declare a phase over iterations [lo, hi) with the given communication
+    /// shape; returns the phase id.
+    int init_phase(int lo, int hi, PhaseComm comm);
+
+    /// Attach a DRSD to a registered array (paper's DMPI_add_array_access).
+    void add_array_access(const std::string& array, AccessMode mode,
+                          int phase, int a = 1, int b = 0);
+
+    /// Collective: calibrate the comm model, agree on node speeds, set the
+    /// initial (even block) distribution and allocate rows.
+    void commit_setup();
+
+    // ---- per-cycle ----
+
+    void begin_cycle();
+    void end_cycle();
+
+    /// Manual REDISTRIBUTE (the related-work annotation the paper contrasts
+    /// itself against — here the burden really is on the programmer):
+    /// collectively apply an explicit block assignment over the current
+    /// active set.  Must be called between cycles by every world rank.
+    void redistribute_manual(const std::vector<int>& counts);
+
+    bool participating() const;
+    int rel_rank() const;
+    int num_active() const { return active_.size(); }
+    /// Absolute rank of an active relative rank (for messaging).
+    int abs_of_rel(int rel) const { return active_.member(rel); }
+
+    /// Inclusive iteration bounds of this node for a phase (paper-style);
+    /// start > end when the node holds nothing.
+    int start_iter(int phase = 0) const;
+    int end_iter(int phase = 0) const;
+    RowSet my_iters(int phase = 0) const;
+
+    /// Charge this cycle's compute for a phase and (during grace periods)
+    /// record per-iteration measurements.  `row_costs` must align with
+    /// my_iters(phase).to_vector().
+    void run_phase(int phase, const std::vector<double>& row_costs);
+
+    // ---- relative-rank messaging ----
+
+    void send_rel(int rel_dst, int tag, const void* data, std::size_t bytes);
+    std::size_t recv_rel(int rel_src, int tag, void* data,
+                         std::size_t capacity);
+
+    /// Global reduction with removed-node semantics (§4.4): active nodes
+    /// compute the reduction; removed nodes skip the send-in but receive the
+    /// result (send-out).  Must be called by every world rank.
+    double allreduce_active(double value, msg::OpSum op);
+    double allreduce_active(double value, msg::OpMax op);
+
+    // ---- introspection ----
+
+    const Distribution& distribution() const { return dist_; }
+    const msg::Group& active_group() const { return active_; }
+    const RuntimeStats& stats() const { return stats_; }
+    const CommCosts& comm_costs() const { return comm_costs_; }
+    DenseArray& dense(const std::string& name);
+    SparseMatrix& sparse(const std::string& name);
+    msg::Rank& rank() { return rank_; }
+    int global_rows() const { return global_rows_; }
+    const RuntimeOptions& options() const { return opts_; }
+    /// Last grace period's assembled global cost vector (for tests).
+    const std::vector<double>& last_row_costs() const { return row_costs_; }
+
+private:
+    enum class Mode { Monitor, Grace, PostGrace };
+
+    struct Phase {
+        int lo = 0, hi = 0;
+        PhaseComm comm;
+        IterationTimer timer;
+        bool measured_this_cycle = false;
+    };
+
+    ArrayInfo& info(const std::string& name);
+    void record_event(AdaptationEvent::Kind kind, std::string detail);
+    const std::vector<Drsd>& accesses_of(const std::string& name) const;
+
+    double my_load() const;       ///< dmpi_ps average competing
+    double node_speed() const;
+
+    // ---- monitoring internals (all control-plane traffic) ----
+
+    /// One consistent view of every node's dmpi_ps average: relative rank 0
+    /// reads all daemons (single reader → no divergence) and broadcasts
+    /// within the active group.
+    std::vector<double> read_world_loads();
+
+    /// Outcome of a grace period, computed identically on all active nodes.
+    struct GraceDecision {
+        bool material = false;
+        msg::Group new_active;
+        std::vector<int> counts;
+        std::vector<double> loads;
+    };
+    GraceDecision compute_grace_decision(const std::vector<double>& loads);
+
+    /// Per-cycle status messages from relative rank 0 to every removed node
+    /// (steady heartbeat, or a re-add instruction carrying full state).
+    void send_statuses(const msg::Group& active_before,
+                       const GraceDecision* decision);
+    void active_cycle_monitor(CycleRecord& rec, double wall);
+    void removed_cycle_follow();
+
+    /// Per-candidate row caps from node memories (0 entries = unlimited).
+    std::vector<int> row_caps_for(const std::vector<int>& members) const;
+    /// Paging factor for this node right now (1.0 when data fits).
+    double paging_factor() const;
+
+    void enter_grace();
+    void finish_post_grace(const std::vector<double>& world_loads);
+    void apply_distribution(const msg::Group& new_active,
+                            const Distribution& new_dist);
+    double comm_cpu_for(int active_nodes) const;
+    double comm_wire_for(int active_nodes) const;
+
+    msg::Rank& rank_;
+    int global_rows_;
+    RuntimeOptions opts_;
+    bool committed_ = false;
+
+    msg::Group world_;
+    msg::Group active_;
+    Distribution dist_;
+    std::vector<ArrayInfo> arrays_;
+    std::vector<Phase> phases_;
+    std::vector<double> speeds_;   ///< per world rank
+    std::vector<double> memories_; ///< per world rank, bytes (0 = unlimited)
+
+    CommCosts comm_costs_;
+    Mode mode_ = Mode::Monitor;
+    std::vector<double> baseline_loads_; ///< loads at last decision point
+    int grace_count_ = 0;
+    int post_count_ = 0;
+    std::vector<double> post_cycle_max_;
+    std::vector<double> row_costs_; ///< latest global per-row cost estimates
+
+    double cycle_start_ = 0.0;
+    bool in_cycle_ = false;
+    std::uint64_t redist_seq_ = 0;
+    std::uint64_t sendout_seq_ = 0;
+
+    RuntimeStats stats_;
+};
+
+}  // namespace dynmpi

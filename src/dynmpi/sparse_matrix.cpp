@@ -1,0 +1,186 @@
+#include "dynmpi/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dynmpi {
+
+SparseMatrix::SparseMatrix(std::string name, int global_rows, int global_cols)
+    : DistArray(std::move(name), global_rows), global_cols_(global_cols) {
+    DYNMPI_REQUIRE(global_cols_ > 0, "matrix needs at least one column");
+}
+
+SparseMatrix::RowList& SparseMatrix::row_mut(int r) {
+    auto it = rows_.find(r);
+    DYNMPI_REQUIRE(it != rows_.end(), "access to non-held row of " + name_);
+    return it->second;
+}
+
+const SparseMatrix::RowList& SparseMatrix::row(int r) const {
+    auto it = rows_.find(r);
+    DYNMPI_REQUIRE(it != rows_.end(), "access to non-held row of " + name_);
+    return it->second;
+}
+
+void SparseMatrix::set(int row, int col, double value) {
+    DYNMPI_REQUIRE(col >= 0 && col < global_cols_, "column out of range");
+    RowList& list = row_mut(row);
+    auto it = std::find_if(list.begin(), list.end(),
+                           [col](const SparseEntry& e) { return e.col >= col; });
+    if (it != list.end() && it->col == col)
+        it->value = value;
+    else
+        list.insert(it, SparseEntry{col, value});
+}
+
+double SparseMatrix::get(int row, int col) const {
+    const RowList& list = this->row(row);
+    for (const auto& e : list) {
+        if (e.col == col) return e.value;
+        if (e.col > col) break;
+    }
+    return 0.0;
+}
+
+bool SparseMatrix::erase(int row, int col) {
+    RowList& list = row_mut(row);
+    auto it = std::find_if(list.begin(), list.end(),
+                           [col](const SparseEntry& e) { return e.col == col; });
+    if (it == list.end()) return false;
+    list.erase(it);
+    return true;
+}
+
+int SparseMatrix::row_nnz(int r) const {
+    return static_cast<int>(row(r).size());
+}
+
+int SparseMatrix::nnz() const {
+    int n = 0;
+    for (const auto& [r, list] : rows_) n += static_cast<int>(list.size());
+    return n;
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------------
+
+SparseMatrix::Cursor::Cursor(SparseMatrix& m) : m_(m) { move_first(); }
+
+void SparseMatrix::Cursor::move_first() {
+    held_rows_ = m_.held().to_vector();
+    row_idx_ = 0;
+    if (!held_rows_.empty())
+        elem_ = m_.row_mut(held_rows_[0]).begin();
+    skip_empty_rows();
+}
+
+void SparseMatrix::Cursor::skip_empty_rows() {
+    while (row_idx_ < held_rows_.size() &&
+           elem_ == m_.row_mut(held_rows_[row_idx_]).end()) {
+        ++row_idx_;
+        if (row_idx_ < held_rows_.size())
+            elem_ = m_.row_mut(held_rows_[row_idx_]).begin();
+    }
+}
+
+bool SparseMatrix::Cursor::at_end() const {
+    return row_idx_ >= held_rows_.size();
+}
+
+int SparseMatrix::Cursor::current_row() const {
+    DYNMPI_REQUIRE(!at_end(), "cursor past the end");
+    return held_rows_[row_idx_];
+}
+
+const SparseEntry& SparseMatrix::Cursor::current() const {
+    DYNMPI_REQUIRE(!at_end(), "cursor past the end");
+    return *elem_;
+}
+
+SparseEntry SparseMatrix::Cursor::next() {
+    DYNMPI_REQUIRE(!at_end(), "cursor past the end");
+    SparseEntry e = *elem_;
+    ++elem_;
+    skip_empty_rows();
+    return e;
+}
+
+void SparseMatrix::Cursor::set_next(double value) {
+    DYNMPI_REQUIRE(!at_end(), "cursor past the end");
+    elem_->value = value;
+    ++elem_;
+    skip_empty_rows();
+}
+
+void SparseMatrix::Cursor::advance_row() {
+    DYNMPI_REQUIRE(!at_end(), "cursor past the end");
+    ++row_idx_;
+    if (row_idx_ < held_rows_.size())
+        elem_ = m_.row_mut(held_rows_[row_idx_]).begin();
+    skip_empty_rows();
+}
+
+// ---------------------------------------------------------------------------
+// DistArray interface
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> SparseMatrix::pack_rows(const RowSet& rows) const {
+    // Pack each linked-list row into the flat wire vector (paper §4.4: a row
+    // "must be packed into a vector" before transfer).
+    std::vector<std::byte> out;
+    put_u32(out, static_cast<std::uint32_t>(rows.count()));
+    for (int r : rows.to_vector()) {
+        const RowList& list = row(r);
+        put_u32(out, static_cast<std::uint32_t>(r));
+        put_u64(out, list.size() * sizeof(SparseEntry));
+        for (const auto& e : list) {
+            std::byte b[sizeof(SparseEntry)];
+            std::memcpy(b, &e, sizeof(SparseEntry));
+            out.insert(out.end(), b, b + sizeof(SparseEntry));
+        }
+    }
+    stats_.bytes_packed += out.size();
+    return out;
+}
+
+void SparseMatrix::unpack_rows(const std::vector<std::byte>& data) {
+    std::size_t pos = 0;
+    std::uint32_t nrows = get_u32(data, pos);
+    for (std::uint32_t k = 0; k < nrows; ++k) {
+        int r = static_cast<int>(get_u32(data, pos));
+        std::uint64_t nbytes = get_u64(data, pos);
+        DYNMPI_REQUIRE(nbytes % sizeof(SparseEntry) == 0,
+                       "sparse row payload not a whole number of entries");
+        DYNMPI_REQUIRE(pos + nbytes <= data.size(), "truncated sparse row");
+        std::size_t count = nbytes / sizeof(SparseEntry);
+        auto [it, inserted] = rows_.try_emplace(r);
+        if (inserted) ++stats_.rows_allocated;
+        it->second.clear();
+        for (std::size_t i = 0; i < count; ++i) {
+            SparseEntry e;
+            std::memcpy(&e, data.data() + pos, sizeof(SparseEntry));
+            pos += sizeof(SparseEntry);
+            it->second.push_back(e); // wire order is column order
+        }
+        held_.add(r, r + 1);
+    }
+    stats_.bytes_unpacked += data.size();
+}
+
+void SparseMatrix::drop_rows(const RowSet& rows) {
+    for (int r : rows.to_vector())
+        if (rows_.erase(r) > 0) ++stats_.rows_freed;
+    held_ = held_.subtract(rows);
+}
+
+void SparseMatrix::ensure_rows(const RowSet& rows) {
+    for (int r : rows.to_vector()) {
+        DYNMPI_REQUIRE(r >= 0 && r < global_rows_, "row out of range");
+        auto [it, inserted] = rows_.try_emplace(r);
+        if (inserted) ++stats_.rows_allocated;
+    }
+    held_.add(rows);
+}
+
+}  // namespace dynmpi

@@ -1,0 +1,120 @@
+// Sparse matrices in the paper's vector-of-lists format (paper §2.2, §4.1.2).
+//
+// Each held row is a linked list of (column id, value) pairs kept sorted by
+// column.  The format mirrors the dense scheme as closely as possible: the
+// distributed dimension is a per-row table, and an "extended row" is the
+// list.  Redistribution packs a row's list into a flat vector for the wire
+// and rebuilds the list on receipt (paper §4.4) — data *and* metadata move
+// together.
+//
+// The Cursor class provides the paper's user-convenience iterator: move to
+// the first element, get the next element, set the next element, and advance
+// the row.
+#pragma once
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+
+#include "dynmpi/dist_array.hpp"
+#include "support/error.hpp"
+
+namespace dynmpi {
+
+/// One stored element: (data element, column id) pair.
+struct SparseEntry {
+    int col = 0;
+    double value = 0.0;
+    bool operator==(const SparseEntry&) const = default;
+};
+
+class SparseMatrix final : public DistArray {
+public:
+    using RowList = std::list<SparseEntry>;
+
+    SparseMatrix(std::string name, int global_rows, int global_cols);
+
+    int global_cols() const { return global_cols_; }
+
+    // ---- element access ----
+
+    /// Insert or overwrite element (row, col).  The row must be held.
+    void set(int row, int col, double value);
+
+    /// Value at (row, col); structural zeros read as 0.0.
+    double get(int row, int col) const;
+
+    /// Remove an element if present; returns true if removed.
+    bool erase(int row, int col);
+
+    /// The stored list for a held row (sorted by column).
+    const RowList& row(int r) const;
+
+    /// Number of stored elements in a held row.
+    int row_nnz(int r) const;
+
+    /// Stored elements across all held rows.
+    int nnz() const;
+
+    // ---- paper-style iterator ----
+
+    /// Walks held rows in ascending row order, elements in column order.
+    class Cursor {
+    public:
+        explicit Cursor(SparseMatrix& m);
+
+        /// Reset to the first element of the first held row.
+        void move_first();
+
+        /// True when the cursor has passed the last element.
+        bool at_end() const;
+
+        /// Current position (valid unless at_end()).
+        int current_row() const;
+        const SparseEntry& current() const;
+
+        /// Return the current element and step forward.  Equivalent to the
+        /// paper's "get the next element".
+        SparseEntry next();
+
+        /// Overwrite the current element's value and step forward ("set the
+        /// next element").
+        void set_next(double value);
+
+        /// Skip the rest of this row and move to the next held row.
+        void advance_row();
+
+    private:
+        void skip_empty_rows();
+
+        SparseMatrix& m_;
+        std::vector<int> held_rows_;
+        std::size_t row_idx_ = 0;
+        RowList::iterator elem_;
+    };
+
+    Cursor cursor() { return Cursor(*this); }
+
+    // ---- DistArray ----
+    std::vector<std::byte> pack_rows(const RowSet& rows) const override;
+    void unpack_rows(const std::vector<std::byte>& data) override;
+    void drop_rows(const RowSet& rows) override;
+    void ensure_rows(const RowSet& rows) override;
+    std::size_t nominal_row_bytes() const override {
+        int held = held_.count();
+        int avg_nnz = held > 0 ? (nnz() + held - 1) / held : 1;
+        return static_cast<std::size_t>(std::max(1, avg_nnz)) *
+               sizeof(SparseEntry);
+    }
+    std::size_t local_bytes() const override {
+        return static_cast<std::size_t>(nnz()) * sizeof(SparseEntry);
+    }
+
+private:
+    RowList& row_mut(int r);
+
+    int global_cols_;
+    std::unordered_map<int, RowList> rows_;
+};
+
+}  // namespace dynmpi

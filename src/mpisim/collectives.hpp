@@ -1,0 +1,349 @@
+// Collective operations over rank groups.
+//
+// Every collective operates on a Group — an ordered subset of absolute rank
+// ids.  A member's position in the group is its *relative rank*, the notion
+// Dyn-MPI programs use so that physically removed nodes disappear from the
+// numbering (paper §2.2).  All members of a group must execute the same
+// sequence of collectives on that group; per-group sequence counters keep
+// wire tags aligned even when a rank simultaneously belongs to other groups.
+//
+// Algorithms are the classic binomial-tree (bcast, reduce) and linear-gather
+// variants; with an eager, buffered message layer they are deadlock-free for
+// any group size, including singletons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpisim/rank.hpp"
+#include "mpisim/tags.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dynmpi::msg {
+
+/// An ordered set of absolute rank ids taking part in collectives.
+class Group {
+public:
+    Group() = default;
+    explicit Group(std::vector<int> members) : members_(std::move(members)) {
+        DYNMPI_REQUIRE(!members_.empty(), "group must be non-empty");
+        std::uint64_t h = splitmix64(members_.size());
+        for (int m : members_)
+            h = hash_combine(h, static_cast<std::uint64_t>(m));
+        hash_ = h;
+    }
+
+    /// The full machine as one group.
+    static Group world(const Rank& rank) {
+        std::vector<int> m(static_cast<std::size_t>(rank.size()));
+        for (int i = 0; i < rank.size(); ++i) m[static_cast<std::size_t>(i)] = i;
+        return Group(std::move(m));
+    }
+
+    int size() const { return static_cast<int>(members_.size()); }
+    int member(int rel) const {
+        DYNMPI_REQUIRE(rel >= 0 && rel < size(), "relative rank out of range");
+        return members_[static_cast<std::size_t>(rel)];
+    }
+    /// Relative rank of an absolute rank, or -1 if not a member.
+    int index_of(int rank) const {
+        for (int i = 0; i < size(); ++i)
+            if (members_[static_cast<std::size_t>(i)] == rank) return i;
+        return -1;
+    }
+    bool contains(int rank) const { return index_of(rank) >= 0; }
+    const std::vector<int>& members() const { return members_; }
+    std::uint64_t hash() const { return hash_; }
+
+    bool operator==(const Group& o) const { return members_ == o.members_; }
+
+private:
+    std::vector<int> members_;
+    std::uint64_t hash_ = 0;
+};
+
+namespace detail {
+
+inline std::uint64_t coll_tag(const Group& g, std::uint64_t seq) {
+    return make_tag(TagSpace::Collective, hash_combine(g.hash(), seq));
+}
+
+template <typename T>
+std::vector<T> bytes_to_vector(std::vector<std::byte>&& raw) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> v(raw.size() / sizeof(T));
+    if (!raw.empty()) std::memcpy(v.data(), raw.data(), raw.size());
+    return v;
+}
+
+}  // namespace detail
+
+/// Reduction functors for allreduce/reduce.
+struct OpSum {
+    template <typename T>
+    T operator()(const T& a, const T& b) const { return a + b; }
+};
+struct OpMin {
+    template <typename T>
+    T operator()(const T& a, const T& b) const { return a < b ? a : b; }
+};
+struct OpMax {
+    template <typename T>
+    T operator()(const T& a, const T& b) const { return a < b ? b : a; }
+};
+
+/// Broadcast `data` from the member with relative rank `root` to all members
+/// (binomial tree).  Non-roots receive into (and resize) `data`.
+template <typename T>
+void bcast(Rank& rank, const Group& g, int root, std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = g.size();
+    const int rel = g.index_of(rank.id());
+    DYNMPI_REQUIRE(rel >= 0, "bcast by non-member");
+    DYNMPI_REQUIRE(root >= 0 && root < n, "bcast root out of range");
+    std::uint64_t tag = detail::coll_tag(g, rank.next_group_seq(g.hash()));
+    if (n == 1) return;
+
+    const int vrank = (rel - root + n) % n;
+    int mask = 1;
+    while (mask < n) {
+        if (vrank & mask) {
+            int parent = g.member(((vrank - mask) + root) % n);
+            data = detail::bytes_to_vector<T>(rank.recv_wire(parent, tag));
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+        if (vrank + mask < n) {
+            int child = g.member((vrank + mask + root) % n);
+            rank.send_wire(child, tag, data.data(), data.size() * sizeof(T));
+        }
+        mask >>= 1;
+    }
+}
+
+/// Reduce element-wise into the root's copy (binomial tree, commutative op).
+/// Returns the reduced vector on the root; other members get their partial.
+template <typename T, typename Op>
+std::vector<T> reduce(Rank& rank, const Group& g, int root, std::vector<T> data,
+                      Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = g.size();
+    const int rel = g.index_of(rank.id());
+    DYNMPI_REQUIRE(rel >= 0, "reduce by non-member");
+    std::uint64_t tag = detail::coll_tag(g, rank.next_group_seq(g.hash()));
+    if (n == 1) return data;
+
+    const int vrank = (rel - root + n) % n;
+    int mask = 1;
+    while (mask < n) {
+        if ((vrank & mask) == 0) {
+            int src_v = vrank | mask;
+            if (src_v < n) {
+                int src = g.member((src_v + root) % n);
+                auto part = detail::bytes_to_vector<T>(rank.recv_wire(src, tag));
+                DYNMPI_CHECK(part.size() == data.size(),
+                             "reduce length mismatch");
+                for (std::size_t i = 0; i < data.size(); ++i)
+                    data[i] = op(data[i], part[i]);
+            }
+        } else {
+            int dst = g.member(((vrank & ~mask) + root) % n);
+            rank.send_wire(dst, tag, data.data(), data.size() * sizeof(T));
+            break;
+        }
+        mask <<= 1;
+    }
+    return data;
+}
+
+/// Element-wise allreduce: reduce to member 0, then broadcast.
+template <typename T, typename Op>
+std::vector<T> allreduce(Rank& rank, const Group& g, std::vector<T> data,
+                         Op op) {
+    data = reduce(rank, g, 0, std::move(data), op);
+    bcast(rank, g, 0, data);
+    return data;
+}
+
+/// Scalar convenience allreduce.
+template <typename T, typename Op>
+T allreduce_scalar(Rank& rank, const Group& g, T value, Op op) {
+    std::vector<T> v{value};
+    v = allreduce(rank, g, std::move(v), op);
+    return v[0];
+}
+
+/// Barrier: an empty allreduce.
+inline void barrier(Rank& rank, const Group& g) {
+    allreduce_scalar<int>(rank, g, 0, OpSum{});
+}
+
+/// Gather each member's (possibly differently sized) vector at the root.
+/// Returns per-member vectors in relative-rank order at the root; empty
+/// elsewhere.
+template <typename T>
+std::vector<std::vector<T>> gather(Rank& rank, const Group& g, int root,
+                                   const std::vector<T>& mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = g.size();
+    const int rel = g.index_of(rank.id());
+    DYNMPI_REQUIRE(rel >= 0, "gather by non-member");
+    std::uint64_t tag = detail::coll_tag(g, rank.next_group_seq(g.hash()));
+
+    std::vector<std::vector<T>> out;
+    if (rel == root) {
+        out.resize(static_cast<std::size_t>(n));
+        out[static_cast<std::size_t>(rel)] = mine;
+        for (int r = 0; r < n; ++r) {
+            if (r == root) continue;
+            out[static_cast<std::size_t>(r)] =
+                detail::bytes_to_vector<T>(rank.recv_wire(g.member(r), tag));
+        }
+    } else {
+        rank.send_wire(g.member(root), tag, mine.data(),
+                       mine.size() * sizeof(T));
+    }
+    return out;
+}
+
+/// Allgather: every member ends with every member's vector.
+/// Implemented as gather at member 0 plus a broadcast of the flattened data
+/// and lengths.
+template <typename T>
+std::vector<std::vector<T>> allgather(Rank& rank, const Group& g,
+                                      const std::vector<T>& mine) {
+    auto rooted = gather(rank, g, 0, mine);
+
+    std::vector<std::uint64_t> lengths;
+    std::vector<T> flat;
+    if (g.index_of(rank.id()) == 0) {
+        for (auto& v : rooted) {
+            lengths.push_back(v.size());
+            flat.insert(flat.end(), v.begin(), v.end());
+        }
+    }
+    bcast(rank, g, 0, lengths);
+    bcast(rank, g, 0, flat);
+
+    std::vector<std::vector<T>> out;
+    out.reserve(lengths.size());
+    std::size_t pos = 0;
+    for (std::uint64_t len : lengths) {
+        out.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+                         flat.begin() + static_cast<std::ptrdiff_t>(pos + len));
+        pos += len;
+    }
+    return out;
+}
+
+/// Scalar allgather convenience: returns one value per member, in relative
+/// rank order.
+template <typename T>
+std::vector<T> allgather_scalar(Rank& rank, const Group& g, T value) {
+    auto vecs = allgather(rank, g, std::vector<T>{value});
+    std::vector<T> out;
+    out.reserve(vecs.size());
+    for (auto& v : vecs) {
+        DYNMPI_CHECK(v.size() == 1, "scalar allgather length mismatch");
+        out.push_back(v[0]);
+    }
+    return out;
+}
+
+/// Scatter: the root distributes chunks[j] to relative rank j; every member
+/// returns its own chunk.
+template <typename T>
+std::vector<T> scatter(Rank& rank, const Group& g, int root,
+                       const std::vector<std::vector<T>>& chunks) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = g.size();
+    const int rel = g.index_of(rank.id());
+    DYNMPI_REQUIRE(rel >= 0, "scatter by non-member");
+    std::uint64_t tag = detail::coll_tag(g, rank.next_group_seq(g.hash()));
+    if (rel == root) {
+        DYNMPI_REQUIRE(static_cast<int>(chunks.size()) == n,
+                       "scatter needs one chunk per member");
+        for (int r = 0; r < n; ++r) {
+            if (r == root) continue;
+            rank.send_wire(g.member(r), tag, chunks[(std::size_t)r].data(),
+                           chunks[(std::size_t)r].size() * sizeof(T));
+        }
+        return chunks[static_cast<std::size_t>(root)];
+    }
+    return detail::bytes_to_vector<T>(rank.recv_wire(g.member(root), tag));
+}
+
+/// Inclusive prefix reduction: member j returns op(v_0, ..., v_j),
+/// element-wise (linear chain — prefix order matters, op need not commute).
+template <typename T, typename Op>
+std::vector<T> scan(Rank& rank, const Group& g, std::vector<T> data, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = g.size();
+    const int rel = g.index_of(rank.id());
+    DYNMPI_REQUIRE(rel >= 0, "scan by non-member");
+    std::uint64_t tag = detail::coll_tag(g, rank.next_group_seq(g.hash()));
+    if (rel > 0) {
+        auto prefix =
+            detail::bytes_to_vector<T>(rank.recv_wire(g.member(rel - 1), tag));
+        DYNMPI_CHECK(prefix.size() == data.size(), "scan length mismatch");
+        for (std::size_t i = 0; i < data.size(); ++i)
+            data[i] = op(prefix[i], data[i]);
+    }
+    if (rel < n - 1)
+        rank.send_wire(g.member(rel + 1), tag, data.data(),
+                       data.size() * sizeof(T));
+    return data;
+}
+
+/// Ring shift: every member sends its vector `distance` positions up the
+/// relative ring and receives from `distance` below.
+template <typename T>
+std::vector<T> ring_shift(Rank& rank, const Group& g,
+                          const std::vector<T>& mine, int distance = 1) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = g.size();
+    const int rel = g.index_of(rank.id());
+    DYNMPI_REQUIRE(rel >= 0, "ring_shift by non-member");
+    std::uint64_t tag = detail::coll_tag(g, rank.next_group_seq(g.hash()));
+    int dst = ((rel + distance) % n + n) % n;
+    int src = ((rel - distance) % n + n) % n;
+    rank.send_wire(g.member(dst), tag, mine.data(), mine.size() * sizeof(T));
+    return detail::bytes_to_vector<T>(rank.recv_wire(g.member(src), tag));
+}
+
+/// All-to-all of per-destination vectors.  outgoing[j] goes to relative rank
+/// j; returns incoming[i] from relative rank i.
+template <typename T>
+std::vector<std::vector<T>> alltoall(Rank& rank, const Group& g,
+                                     const std::vector<std::vector<T>>& outgoing) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int n = g.size();
+    const int rel = g.index_of(rank.id());
+    DYNMPI_REQUIRE(rel >= 0, "alltoall by non-member");
+    DYNMPI_REQUIRE(static_cast<int>(outgoing.size()) == n,
+                   "alltoall needs one outgoing vector per member");
+    std::uint64_t tag = detail::coll_tag(g, rank.next_group_seq(g.hash()));
+
+    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(n));
+    incoming[static_cast<std::size_t>(rel)] =
+        outgoing[static_cast<std::size_t>(rel)];
+    // Shifted schedule spreads NIC load; eager buffering makes it safe.
+    for (int s = 1; s < n; ++s) {
+        int dst_rel = (rel + s) % n;
+        const auto& out = outgoing[static_cast<std::size_t>(dst_rel)];
+        rank.send_wire(g.member(dst_rel), tag, out.data(),
+                       out.size() * sizeof(T));
+    }
+    for (int s = 1; s < n; ++s) {
+        int src_rel = (rel - s + n) % n;
+        incoming[static_cast<std::size_t>(src_rel)] =
+            detail::bytes_to_vector<T>(rank.recv_wire(g.member(src_rel), tag));
+    }
+    return incoming;
+}
+
+}  // namespace dynmpi::msg

@@ -1,0 +1,175 @@
+#include "mpisim/machine.hpp"
+
+#include <sstream>
+
+#include "mpisim/rank.hpp"
+#include "support/error.hpp"
+
+namespace dynmpi::msg {
+
+Machine::Machine(sim::ClusterConfig config) : cluster_(std::move(config)) {
+    cluster_.network().set_delivery_handler(
+        [this](sim::Packet&& p) { on_delivery(std::move(p)); });
+}
+
+Machine::~Machine() {
+    // If run() threw (or was never called), make sure no rank thread is left
+    // parked on its condition variable.
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        aborting_ = true;
+        for (auto& rs : ranks_)
+            if (rs) rs->cv.notify_all();
+    }
+    for (auto& rs : ranks_)
+        if (rs && rs->thread.joinable()) rs->thread.join();
+}
+
+Machine::RankState& Machine::state(int r) {
+    DYNMPI_CHECK(r >= 0 && r < static_cast<int>(ranks_.size()), "bad rank");
+    return *ranks_[static_cast<std::size_t>(r)];
+}
+
+void Machine::run(std::function<void(Rank&)> fn) {
+    DYNMPI_REQUIRE(!started_, "a Machine runs exactly one program");
+    started_ = true;
+
+    const int n = num_ranks();
+    ranks_.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+        ranks_.push_back(std::make_unique<RankState>());
+
+    for (int r = 0; r < n; ++r) {
+        RankState& rs = state(r);
+        rs.thread = std::thread([this, r, &fn] {
+            Rank rank(*this, r);
+            // Wait for the first resume.
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                state(r).cv.wait(lock, [&] {
+                    return active_rank_ == r || aborting_;
+                });
+                if (aborting_ && active_rank_ != r) {
+                    state(r).phase = RankPhase::Done;
+                    engine_cv_.notify_all();
+                    return;
+                }
+                state(r).phase = RankPhase::Running;
+            }
+            try {
+                fn(rank);
+            } catch (const MachineAborted&) {
+                // torn down deliberately; not an error of its own
+            } catch (...) {
+                state(r).error = std::current_exception();
+            }
+            std::unique_lock<std::mutex> lock(mu_);
+            state(r).phase = RankPhase::Done;
+            active_rank_ = -1;
+            engine_cv_.notify_all();
+        });
+        // Kick every rank off at t=0.
+        cluster_.engine().at(0, [this, r] { resume_rank(r); });
+    }
+
+    // Engine loop: drain events; resume events hand the baton to ranks.
+    // Weak background events (daemons, load bursts) never keep the loop
+    // alive on their own.
+    sim::Engine& eng = cluster_.engine();
+    eng.run();
+
+    // Strong events drained.  Any rank not Done is deadlocked (blocked with
+    // no wake event) — tear them down and report.
+    std::vector<int> stuck;
+    for (int r = 0; r < n; ++r)
+        if (state(r).phase != RankPhase::Done) stuck.push_back(r);
+    if (!stuck.empty()) abort_blocked_ranks();
+
+    for (auto& rs : ranks_)
+        if (rs->thread.joinable()) rs->thread.join();
+
+    elapsed_ = sim::to_seconds(eng.now());
+
+    for (auto& rs : ranks_)
+        if (rs->error) std::rethrow_exception(rs->error);
+
+    if (!stuck.empty()) {
+        std::ostringstream os;
+        os << "deadlock: event queue drained with blocked ranks:";
+        for (int r : stuck) os << ' ' << r;
+        throw Error(os.str());
+    }
+}
+
+void Machine::resume_rank(int r) {
+    std::unique_lock<std::mutex> lock(mu_);
+    RankState& rs = state(r);
+    DYNMPI_CHECK(active_rank_ == -1, "resume while another rank is active");
+    DYNMPI_CHECK(rs.phase != RankPhase::Done, "resume of finished rank");
+    active_rank_ = r;
+    rs.phase = RankPhase::Running;
+    rs.cv.notify_all();
+    engine_cv_.wait(lock, [&] { return active_rank_ == -1; });
+}
+
+void Machine::yield_from_rank(int r) {
+    std::unique_lock<std::mutex> lock(mu_);
+    RankState& rs = state(r);
+    rs.phase = RankPhase::Blocked;
+    active_rank_ = -1;
+    engine_cv_.notify_all();
+    rs.cv.wait(lock, [&] { return active_rank_ == r || aborting_; });
+    if (aborting_ && active_rank_ != r) throw MachineAborted{};
+    rs.phase = RankPhase::Running;
+}
+
+void Machine::abort_blocked_ranks() {
+    std::unique_lock<std::mutex> lock(mu_);
+    aborting_ = true;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        RankState& rs = *ranks_[r];
+        if (rs.phase == RankPhase::Done) continue;
+        rs.cv.notify_all();
+        // Each aborted rank throws MachineAborted, unwinds, and marks Done.
+        engine_cv_.wait(lock, [&] { return rs.phase == RankPhase::Done; });
+    }
+}
+
+void Machine::on_delivery(sim::Packet&& p) {
+    const int dst = p.dst;
+    if (p.control) {
+        ++traffic_.control_messages;
+        traffic_.control_bytes += p.payload.size();
+    } else {
+        auto space = static_cast<std::size_t>(tag_space(p.tag));
+        DYNMPI_CHECK(space < 3, "unknown tag space");
+        ++traffic_.messages[space];
+        traffic_.bytes[space] += p.payload.size();
+    }
+    RankState& rs = state(dst);
+    if (rs.recv_waiting) {
+        bool src_ok = rs.recv_src == kAnySource || rs.recv_src == p.src;
+        bool tag_ok =
+            rs.recv_any_tag
+                ? (rs.recv_space < 0 ||
+                   static_cast<std::int64_t>(p.tag >> 62) == rs.recv_space)
+                : p.tag == rs.recv_tag;
+        if (src_ok && tag_ok) {
+            rs.recv_waiting = false;
+            rs.recv_result = std::move(p);
+            // A blocked process that becomes runnable on a loaded node waits
+            // for the scheduler (wake-up latency).
+            double delay = cluster_.node(dst).cpu().next_wake_delay();
+            if (delay > 0.0) {
+                cluster_.engine().after(sim::from_seconds(delay),
+                                        [this, dst] { resume_rank(dst); });
+            } else {
+                resume_rank(dst);
+            }
+            return;
+        }
+    }
+    rs.mailbox.push_back(std::move(p));
+}
+
+}  // namespace dynmpi::msg

@@ -1,0 +1,128 @@
+// SPMD machine: runs one rank thread per simulated node under the engine.
+//
+// Concurrency model (SimGrid-style conservative co-simulation): rank code
+// runs on real std::threads, but exactly one logical thread of control is
+// active at any instant — either the engine (processing events on the caller
+// thread) or a single rank.  A mutex-protected "baton" is handed off:
+//
+//   engine event "resume rank r"  →  rank r runs user code  →  rank blocks
+//   (compute / recv / sleep)      →  baton returns to the engine.
+//
+// Everything the simulation touches is therefore data-race-free by
+// construction, and runs are fully deterministic.
+//
+// Misbehaving programs are diagnosed rather than hung: if the event queue
+// drains while ranks are still blocked, the machine aborts them and throws a
+// deadlock Error naming the stuck ranks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mpisim/tags.hpp"
+#include "sim/cluster.hpp"
+#include "sim/network.hpp"
+
+namespace dynmpi::msg {
+
+class Rank;
+
+/// Thrown inside rank code when the machine tears a blocked rank down
+/// (deadlock recovery or a sibling rank's failure).  User code should not
+/// catch it.
+class MachineAborted : public std::exception {
+public:
+    const char* what() const noexcept override {
+        return "simulation machine aborted";
+    }
+};
+
+class Machine {
+public:
+    explicit Machine(sim::ClusterConfig config);
+    ~Machine();
+
+    Machine(const Machine&) = delete;
+    Machine& operator=(const Machine&) = delete;
+
+    sim::Cluster& cluster() { return cluster_; }
+    int num_ranks() const { return cluster_.size(); }
+
+    /// Run `fn` as an SPMD program, one instance per rank, to completion.
+    /// Blocks the calling thread; rethrows the first rank failure; throws
+    /// Error on deadlock.  One-shot: a Machine runs one program.
+    void run(std::function<void(Rank&)> fn);
+
+    /// Total virtual time consumed by the program (valid after run()).
+    double elapsed_seconds() const { return elapsed_; }
+
+    /// Delivered-traffic accounting, split by tag namespace (user traffic vs
+    /// collectives vs Dyn-MPI runtime) and data vs control plane.
+    struct TrafficStats {
+        std::uint64_t messages[3] = {0, 0, 0}; ///< indexed by TagSpace
+        std::uint64_t bytes[3] = {0, 0, 0};
+        std::uint64_t control_messages = 0;
+        std::uint64_t control_bytes = 0;
+
+        std::uint64_t total_messages() const {
+            return messages[0] + messages[1] + messages[2];
+        }
+        std::uint64_t total_bytes() const {
+            return bytes[0] + bytes[1] + bytes[2];
+        }
+    };
+    const TrafficStats& traffic() const { return traffic_; }
+
+private:
+    friend class Rank;
+
+    enum class RankPhase { Idle, Running, Blocked, Done };
+
+    struct RankState {
+        std::thread thread;
+        std::condition_variable cv;
+        RankPhase phase = RankPhase::Idle;
+        std::exception_ptr error;
+
+        // Mailbox of delivered-but-unmatched packets.
+        std::deque<sim::Packet> mailbox;
+
+        // Pending blocking receive, if any.
+        bool recv_waiting = false;
+        int recv_src = kAnySource;
+        std::int64_t recv_space = -1; ///< required TagSpace, or -1 for any
+        std::uint64_t recv_tag = 0;
+        bool recv_any_tag = false;
+        sim::Packet recv_result;
+    };
+
+    // ---- engine-side ----
+    void resume_rank(int r);           ///< hand the baton to rank r, wait for it back
+    void on_delivery(sim::Packet&& p); ///< network upcall (engine context)
+    void abort_blocked_ranks();
+
+    // ---- rank-side ----
+    void yield_from_rank(int r); ///< give the baton back and wait to be resumed
+    RankState& state(int r);
+
+    sim::Cluster cluster_;
+    std::vector<std::unique_ptr<RankState>> ranks_;
+
+    std::mutex mu_;
+    std::condition_variable engine_cv_;
+    int active_rank_ = -1; ///< -1 while the engine holds the baton
+    bool aborting_ = false;
+    bool started_ = false;
+    double elapsed_ = 0.0;
+    TrafficStats traffic_;
+};
+
+}  // namespace dynmpi::msg

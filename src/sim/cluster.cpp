@@ -1,0 +1,92 @@
+#include "sim/cluster.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dynmpi::sim {
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+    DYNMPI_REQUIRE(config_.num_nodes > 0, "cluster needs at least one node");
+    DYNMPI_REQUIRE(config_.speeds.empty() ||
+                       static_cast<int>(config_.speeds.size()) ==
+                           config_.num_nodes,
+                   "speeds must be empty or have one entry per node");
+    network_ = std::make_unique<Network>(engine_, config_.net,
+                                         config_.num_nodes);
+    DYNMPI_REQUIRE(config_.memories.empty() ||
+                       static_cast<int>(config_.memories.size()) ==
+                           config_.num_nodes,
+                   "memories must be empty or have one entry per node");
+    for (int i = 0; i < config_.num_nodes; ++i) {
+        CpuParams cp = config_.cpu;
+        if (!config_.speeds.empty())
+            cp.speed = config_.speeds[static_cast<std::size_t>(i)];
+        std::uint64_t mem =
+            config_.memories.empty()
+                ? config_.node_memory_bytes
+                : config_.memories[static_cast<std::size_t>(i)];
+        nodes_.push_back(std::make_unique<Node>(
+            engine_, i, cp,
+            hash_combine(config_.seed, static_cast<std::uint64_t>(i)), mem));
+        daemons_.push_back(std::make_unique<PsDaemon>(engine_, *nodes_.back(),
+                                                      config_.ps_period));
+    }
+}
+
+Node& Cluster::node(int i) {
+    DYNMPI_REQUIRE(i >= 0 && i < size(), "node index out of range");
+    return *nodes_[static_cast<std::size_t>(i)];
+}
+
+PsDaemon& Cluster::daemon(int i) {
+    DYNMPI_REQUIRE(i >= 0 && i < size(), "daemon index out of range");
+    return *daemons_[static_cast<std::size_t>(i)];
+}
+
+int Cluster::spawn_competing(int node_id, BurstSpec spec) {
+    return node(node_id).spawn_competing("competing", spec);
+}
+
+void Cluster::kill_competing(int node_id, int pid) {
+    node(node_id).kill_competing(pid);
+}
+
+void Cluster::add_load_interval(int node_id, double t_start, double t_end,
+                                int count, BurstSpec spec) {
+    DYNMPI_REQUIRE(t_start >= 0.0, "negative start time");
+    DYNMPI_REQUIRE(count > 0, "count must be positive");
+    DYNMPI_REQUIRE(t_end < 0.0 || t_end > t_start,
+                   "interval must end after it starts");
+    for (int c = 0; c < count; ++c) {
+        engine_.at(
+            from_seconds(t_start),
+            [this, node_id, t_end, spec] {
+                int pid = spawn_competing(node_id, spec);
+                if (t_end >= 0.0)
+                    engine_.at(
+                        from_seconds(t_end),
+                        [this, node_id, pid] { kill_competing(node_id, pid); },
+                        /*weak=*/true);
+            },
+            /*weak=*/true);
+    }
+}
+
+void Cluster::add_parallel_app(const std::vector<int>& nodes, double t_start,
+                               double t_end, double period_s, double duty) {
+    DYNMPI_REQUIRE(!nodes.empty(), "parallel app needs nodes");
+    DYNMPI_REQUIRE(period_s > 0.0 && duty > 0.0 && duty <= 1.0,
+                   "bad parallel-app phase shape");
+    // One lockstep bursty process per node: spawned at the same instant with
+    // the same spec, their toggle chains stay synchronized — the signature
+    // of a parallel application's compute/communicate phases.
+    for (int node_id : nodes)
+        add_load_interval(node_id, t_start, t_end, 1,
+                          BurstSpec{period_s, duty});
+}
+
+void Cluster::at(double t, std::function<void()> fn) {
+    engine_.at(from_seconds(t), std::move(fn), /*weak=*/true);
+}
+
+}  // namespace dynmpi::sim

@@ -1,0 +1,81 @@
+// The simulated non-dedicated cluster: engine + nodes + network + daemons.
+//
+// A Cluster bundles everything below the message layer and provides the
+// load-scripting hooks benches use to introduce and retire competing
+// processes at virtual times ("a competing process is started on node k at
+// the 10th iteration" in the paper becomes either a timed interval or an
+// app-triggered spawn).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/ps_daemon.hpp"
+
+namespace dynmpi::sim {
+
+struct ClusterConfig {
+    int num_nodes = 4;
+    std::vector<double> speeds; ///< per-node relative speed; empty → all 1.0
+    CpuParams cpu;              ///< template for every node (speed overridden)
+    NetParams net;
+    std::uint64_t seed = 42;
+    SimTime ps_period = kNsPerSec; ///< dmpi_ps sampling period
+    /// Physical memory per node for application data; 0 = unlimited.
+    /// Exceeding it models paging (the AppLeS-style constraint the
+    /// memory-aware balancer avoids).
+    std::uint64_t node_memory_bytes = 0;
+    std::vector<std::uint64_t> memories; ///< per-node override; empty → uniform
+};
+
+class Cluster {
+public:
+    explicit Cluster(ClusterConfig config);
+
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+
+    Engine& engine() { return engine_; }
+    Network& network() { return *network_; }
+    int size() const { return static_cast<int>(nodes_.size()); }
+    Node& node(int i);
+    PsDaemon& daemon(int i);
+    const ClusterConfig& config() const { return config_; }
+
+    // ---- load scripting ----
+
+    /// Spawn a competing process right now; returns its pid.
+    int spawn_competing(int node, BurstSpec spec = {});
+
+    void kill_competing(int node, int pid);
+
+    /// Schedule `count` competing processes on `node` for the virtual-time
+    /// interval [t_start, t_end) (t_end < 0 means "forever").
+    void add_load_interval(int node, double t_start, double t_end,
+                           int count = 1, BurstSpec spec = {});
+
+    /// A competing *parallel* application (the paper's future-work case):
+    /// one process per listed node, all alternating compute/communicate in
+    /// lockstep with the given period and compute fraction.  Instantaneous
+    /// samplers see them flapping between all-runnable and all-blocked;
+    /// the windowed dmpi_ps average prices them at `duty`.
+    void add_parallel_app(const std::vector<int>& nodes, double t_start,
+                          double t_end, double period_s, double duty);
+
+    /// Run an arbitrary callback at a virtual time (bench scripting).
+    void at(double t, std::function<void()> fn);
+
+private:
+    ClusterConfig config_;
+    Engine engine_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::unique_ptr<Network> network_;
+    std::vector<std::unique_ptr<PsDaemon>> daemons_;
+};
+
+}  // namespace dynmpi::sim

@@ -1,0 +1,40 @@
+#include "sim/engine.hpp"
+
+#include "support/error.hpp"
+
+namespace dynmpi::sim {
+
+EventId Engine::at(SimTime t, std::function<void()> fn, bool weak) {
+    DYNMPI_REQUIRE(t >= now_, "cannot schedule an event in the past");
+    return queue_.schedule(t, std::move(fn), weak);
+}
+
+EventId Engine::after(SimTime delay, std::function<void()> fn, bool weak) {
+    DYNMPI_REQUIRE(delay >= 0, "negative delay");
+    return queue_.schedule(now_ + delay, std::move(fn), weak);
+}
+
+bool Engine::step() {
+    if (queue_.empty()) return false;
+    auto [time, fn] = queue_.pop();
+    DYNMPI_CHECK(time >= now_, "event queue went backwards");
+    now_ = time;
+    ++fired_;
+    fn();
+    return true;
+}
+
+void Engine::run() {
+    while (has_strong()) {
+        bool fired = step();
+        DYNMPI_CHECK(fired, "strong events pending but nothing fired");
+    }
+}
+
+void Engine::run_until(SimTime t) {
+    DYNMPI_REQUIRE(t >= now_, "run_until into the past");
+    while (!queue_.empty() && queue_.next_time() <= t) step();
+    now_ = t;
+}
+
+}  // namespace dynmpi::sim

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include "support/error.hpp"
+
+namespace dynmpi::sim {
+
+EventId EventQueue::schedule(SimTime t, std::function<void()> fn, bool weak) {
+    DYNMPI_REQUIRE(t >= 0, "event time must be non-negative");
+    EventId id = next_id_++;
+    heap_.push(Entry{t, id, std::move(fn)});
+    if (!weak) strong_ids_.insert(id);
+    return id;
+}
+
+void EventQueue::cancel(EventId id) {
+    if (id != 0 && id < next_id_) {
+        cancelled_.insert(id);
+        strong_ids_.erase(id);
+    }
+}
+
+void EventQueue::drop_cancelled_head() const {
+    while (!heap_.empty()) {
+        auto it = cancelled_.find(heap_.top().id);
+        if (it == cancelled_.end()) return;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+bool EventQueue::empty() const {
+    drop_cancelled_head();
+    return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+    drop_cancelled_head();
+    DYNMPI_REQUIRE(!heap_.empty(), "next_time on empty queue");
+    return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+    drop_cancelled_head();
+    DYNMPI_REQUIRE(!heap_.empty(), "pop on empty queue");
+    // priority_queue::top() is const; the entry is about to be popped, so
+    // moving the callback out is safe.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    Fired f{top.time, std::move(top.fn)};
+    strong_ids_.erase(top.id);
+    heap_.pop();
+    return f;
+}
+
+}  // namespace dynmpi::sim

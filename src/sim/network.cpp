@@ -1,0 +1,48 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace dynmpi::sim {
+
+Network::Network(Engine& engine, NetParams params, int num_nodes)
+    : engine_(engine), params_(params) {
+    DYNMPI_REQUIRE(num_nodes > 0, "network needs at least one node");
+    DYNMPI_REQUIRE(params_.bandwidth_Bps > 0.0, "bandwidth must be positive");
+    nic_free_.assign(static_cast<std::size_t>(num_nodes), 0);
+}
+
+void Network::set_delivery_handler(std::function<void(Packet&&)> handler) {
+    deliver_ = std::move(handler);
+}
+
+void Network::transmit(Packet&& p) {
+    DYNMPI_REQUIRE(deliver_ != nullptr, "no delivery handler installed");
+    DYNMPI_REQUIRE(p.src >= 0 && p.src < static_cast<int>(nic_free_.size()),
+                   "bad source node");
+    DYNMPI_REQUIRE(p.dst >= 0 && p.dst < static_cast<int>(nic_free_.size()),
+                   "bad destination node");
+    ++messages_;
+    bytes_ += p.payload.size();
+
+    SimTime deliver_at;
+    if (p.src == p.dst) {
+        deliver_at = engine_.now() + from_seconds(params_.self_latency_s);
+    } else if (p.control) {
+        deliver_at = engine_.now() + from_seconds(params_.latency_s);
+    } else {
+        SimTime start = std::max(engine_.now(),
+                                 nic_free_[static_cast<std::size_t>(p.src)]);
+        SimTime xfer = from_seconds(static_cast<double>(p.payload.size()) /
+                                    params_.bandwidth_Bps);
+        nic_free_[static_cast<std::size_t>(p.src)] = start + xfer;
+        deliver_at = start + xfer + from_seconds(params_.latency_s);
+    }
+
+    auto boxed = std::make_shared<Packet>(std::move(p));
+    engine_.at(deliver_at, [this, boxed] { deliver_(std::move(*boxed)); });
+}
+
+}  // namespace dynmpi::sim

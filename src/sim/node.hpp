@@ -1,0 +1,94 @@
+// A simulated cluster node: CPU, process table, and competing processes.
+//
+// Competing processes model other users of a non-dedicated node.  They are
+// compute-bound (the paper uses infinite loops) and may optionally be
+// *bursty*, alternating runnable and blocked phases — the workload that
+// separates dmpi_ps-style time-averaged load sensing from vmstat-style
+// instantaneous sampling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "sim/cpu.hpp"
+#include "sim/engine.hpp"
+#include "sim/process_table.hpp"
+
+namespace dynmpi::sim {
+
+/// Duty cycle of a competing process.  period_s == 0 means always runnable.
+struct BurstSpec {
+    double period_s = 0.0;
+    double duty = 1.0; ///< fraction of each period spent runnable
+    bool operator==(const BurstSpec&) const = default;
+};
+
+class Node {
+public:
+    Node(Engine& engine, int id, CpuParams cpu_params, std::uint64_t seed,
+         std::uint64_t memory_bytes = 0);
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    int id() const { return id_; }
+    Cpu& cpu() { return cpu_; }
+    const Cpu& cpu() const { return cpu_; }
+    ProcessTable& procs() { return table_; }
+
+    /// Pid of the (single) monitored application process on this node.
+    int app_pid() const { return app_pid_; }
+
+    /// Physical memory available for application data (0 = unlimited).
+    std::uint64_t memory_bytes() const { return memory_bytes_; }
+
+    // ---- competing processes ----
+
+    /// Start a competing process; returns its pid.
+    int spawn_competing(std::string name, BurstSpec spec = {});
+
+    /// Terminate a competing process started with spawn_competing.
+    void kill_competing(int pid);
+
+    /// Number of competing processes currently runnable.
+    int active_competing() const { return active_competing_; }
+
+    /// Number of competing processes spawned and not yet killed.
+    int competing_count() const { return static_cast<int>(burst_.size()); }
+
+    /// ∫ active_competing dt from simulation start to now, in process-seconds
+    /// (basis for windowed load averages).
+    double competing_integral() const;
+
+    /// `ps`-style snapshot with the app's CPU time filled in.
+    std::vector<ProcessInfo> ps_snapshot() const;
+
+private:
+    struct CompetingState {
+        BurstSpec spec;
+        bool runnable = false;
+        EventId toggle_event = 0;
+    };
+
+    void set_competing_runnable(int pid, bool runnable);
+    void schedule_toggle(int pid);
+
+    Engine& engine_;
+    int id_;
+    std::uint64_t seed_;
+    std::uint64_t memory_bytes_;
+    ProcessTable table_;
+    Cpu cpu_;
+    int app_pid_;
+    int daemon_pid_;
+
+    std::unordered_map<int, CompetingState> burst_;
+    int active_competing_ = 0;
+
+    mutable double integral_ = 0.0;
+    mutable SimTime integral_last_ = 0;
+};
+
+}  // namespace dynmpi::sim

@@ -1,0 +1,78 @@
+// Load-sensing daemons.
+//
+// PsDaemon models the paper's dmpi_ps: a per-node daemon that wakes every
+// second and reports how many processes are competing for the CPU.  Unlike
+// vmstat-based sensing it (a) always includes the monitored application and
+// (b) integrates over the whole window rather than sampling an instant, so a
+// competing process that happens to be blocked at the sampling instant is
+// still accounted for in proportion to its actual demand.
+//
+// VmstatSampler is the unreliable baseline the paper rejects: an
+// instantaneous count of runnable processes, which misses processes that
+// have voluntarily relinquished the CPU (e.g. blocked at a receive).
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+
+namespace dynmpi::sim {
+
+class PsDaemon {
+public:
+    struct Sample {
+        SimTime time = 0;
+        double avg_competing = 0.0; ///< time-weighted over the last period
+    };
+
+    /// Starts ticking immediately; first sample lands one period in.
+    PsDaemon(Engine& engine, Node& node, SimTime period = kNsPerSec);
+
+    PsDaemon(const PsDaemon&) = delete;
+    PsDaemon& operator=(const PsDaemon&) = delete;
+
+    /// Time-weighted average number of competing runnable processes over the
+    /// most recent completed window (0 before the first sample).
+    double avg_competing() const;
+
+    /// Integer load as dmpi_ps reports it: competing processes rounded to the
+    /// nearest integer, plus one for the monitored application itself.
+    int reported_load() const;
+
+    /// Fraction of this node's CPU the application can expect:
+    /// 1 / (1 + avg_competing).
+    double reported_share() const;
+
+    SimTime last_sample_time() const;
+    const std::vector<Sample>& history() const { return history_; }
+
+    /// Average competing load over the last `window_s` seconds of completed
+    /// samples (0 when nothing has been sampled yet).
+    double avg_over(double window_s) const;
+
+private:
+    void tick();
+
+    Engine& engine_;
+    Node& node_;
+    SimTime period_;
+    double prev_integral_ = 0.0;
+    std::vector<Sample> history_;
+};
+
+/// vmstat-style instantaneous sampler (baseline for the §4.2 comparison).
+class VmstatSampler {
+public:
+    explicit VmstatSampler(Node& node) : node_(node) {}
+
+    /// Count of processes in Running/Ready state *right now*, excluding the
+    /// monitored application (it does not show as runnable while blocked at
+    /// a receive — exactly the failure mode the paper describes).
+    int sample_runnable() const;
+
+private:
+    Node& node_;
+};
+
+}  // namespace dynmpi::sim

@@ -1,0 +1,16 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace dynmpi::detail {
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& msg) {
+    std::ostringstream os;
+    os << "dynmpi " << kind << " failed: (" << expr << ") at " << file << ":"
+       << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw Error(os.str());
+}
+
+}  // namespace dynmpi::detail

@@ -1,0 +1,41 @@
+// Error-handling primitives shared by every dynmpi module.
+//
+// Simulation and runtime invariants are enforced with DYNMPI_CHECK /
+// DYNMPI_REQUIRE.  A violated invariant throws dynmpi::Error carrying the
+// failing expression and location; tests assert on these, and benches treat
+// them as fatal.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dynmpi {
+
+/// Exception thrown on any violated precondition or internal invariant.
+class Error : public std::runtime_error {
+public:
+    explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace dynmpi
+
+/// Validate a caller-supplied argument; message may use stream-free text.
+#define DYNMPI_REQUIRE(expr, msg)                                              \
+    do {                                                                       \
+        if (!(expr))                                                           \
+            ::dynmpi::detail::fail("precondition", #expr, __FILE__, __LINE__,  \
+                                   (msg));                                     \
+    } while (0)
+
+/// Validate an internal invariant.
+#define DYNMPI_CHECK(expr, msg)                                                \
+    do {                                                                       \
+        if (!(expr))                                                           \
+            ::dynmpi::detail::fail("invariant", #expr, __FILE__, __LINE__,     \
+                                   (msg));                                     \
+    } while (0)

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random utilities.
+//
+// All randomness in the simulator flows through these seeded generators so
+// every test and bench run is bit-for-bit reproducible.  splitmix64 is used
+// both as a stream generator and as a stateless hash (for, e.g., per-node
+// quantum-jitter phases that must not depend on call order).
+#pragma once
+
+#include <cstdint>
+
+namespace dynmpi {
+
+/// One splitmix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit values into one hash (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+    return splitmix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+}
+
+/// Small, fast, seedable PRNG (splitmix64 stream).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x1234abcdULL) : state_(seed) {}
+
+    std::uint64_t next_u64() {
+        state_ += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t x = state_;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, n).  n must be > 0.
+    std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        return lo + (hi - lo) * next_double();
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace dynmpi

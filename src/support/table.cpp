@@ -1,0 +1,59 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dynmpi {
+
+void TextTable::header(std::vector<std::string> cols) {
+    header_ = std::move(cols);
+}
+
+void TextTable::row(std::vector<std::string> cols) {
+    rows_.push_back(std::move(cols));
+}
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> widths(header_.size());
+    auto widen = [&](const std::vector<std::string>& r) {
+        if (r.size() > widths.size()) widths.resize(r.size());
+        for (std::size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& r) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            cell.resize(widths[i], ' ');
+            os << cell << (i + 1 < widths.size() ? "  " : "");
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::string rule;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        rule.append(widths[i], '-');
+        if (i + 1 < widths.size()) rule.append(2, ' ');
+    }
+    os << rule << '\n';
+    for (const auto& r : rows_) emit(r);
+    return os.str();
+}
+
+std::string fmt(double v, int prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+std::string pct(double ratio, int prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", prec, ratio * 100.0);
+    return buf;
+}
+
+}  // namespace dynmpi

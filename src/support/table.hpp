@@ -1,0 +1,37 @@
+// Plain-text table rendering for bench harness output.
+//
+// Every figure-reproduction bench prints its rows through TextTable so the
+// output is aligned and diffable; EXPERIMENTS.md quotes these tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dynmpi {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class TextTable {
+public:
+    /// Set the header row (column titles).
+    void header(std::vector<std::string> cols);
+
+    /// Append one data row; its size should match the header's.
+    void row(std::vector<std::string> cols);
+
+    /// Render the table with a separator under the header.
+    std::string render() const;
+
+    std::size_t num_rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` digits after the decimal point.
+std::string fmt(double v, int prec = 2);
+
+/// Format a ratio as a percentage string, e.g. 0.167 -> "16.7%".
+std::string pct(double ratio, int prec = 1);
+
+}  // namespace dynmpi

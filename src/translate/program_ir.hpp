@@ -1,0 +1,74 @@
+// Intermediate representation of an MPI SPMD program for translation to
+// Dyn-MPI (paper §2.3).
+//
+// The paper splits the MPI→Dyn-MPI transformation into a mechanical part
+// (one-to-one call insertion) and a sophisticated part (deriving one
+// DMPI_add_array_access per array reference — the DRSDs).  This IR captures
+// what a front end (the paper modified SUIF) would hand to the translator:
+// the distributed arrays, the partitioned loops (phases) with their affine
+// array references, and the communication each phase performs.
+//
+// References may be written in the *global* view (row = a*i + b for global
+// iteration i) or the *local* view an already-distributed MPI program uses
+// (row = local offset from the block start).  §2.3 notes that converting the
+// local view back to the global view is the reverse of the Fortran D
+// translation — `globalize` below implements it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dynmpi/comm_model.hpp"
+#include "dynmpi/drsd.hpp"
+
+namespace dynmpi::xlate {
+
+/// A distributed array declaration in the source program.
+struct ArrayDecl {
+    std::string name;
+    int row_elems = 1;           ///< product of the non-distributed dims
+    std::size_t elem_bytes = 8;
+    bool sparse = false;
+    int sparse_cols = 0; ///< for sparse arrays
+};
+
+/// One array reference inside a partitioned loop.
+struct ArrayRef {
+    std::string array;
+    AccessMode mode = AccessMode::Read;
+
+    /// Affine reference row = a*i + b (global view), or a full-array read
+    /// (e.g. the gathered vector in CG's q = A*p).
+    bool full_range = false;
+    int a = 1;
+    int b = 0;
+
+    bool operator==(const ArrayRef&) const = default;
+};
+
+/// A partitioned loop: computation over iterations [lo, hi) followed by the
+/// communication the source program performs explicitly.
+struct LoopNest {
+    std::string index_var = "i";
+    int lo = 0;
+    int hi = 0;
+    std::vector<ArrayRef> refs;
+};
+
+/// The whole program: iterative SPMD with a phase cycle around the loops.
+struct MpiProgram {
+    std::string name;
+    int global_rows = 0;
+    std::vector<ArrayDecl> arrays;
+    std::vector<LoopNest> loops;
+};
+
+/// §2.3: convert a *local-view* reference (offset from the local block start
+/// in a block-distributed MPI program) into the global-view affine form.
+/// A reference `A[local_i + offset]` where `local_i` enumerates the local
+/// block corresponds to the global reference row = i + offset.
+ArrayRef globalize(const std::string& array, AccessMode mode,
+                   int local_offset);
+
+}  // namespace dynmpi::xlate

@@ -1,0 +1,152 @@
+// Randomized end-to-end stress: arbitrary load scripts, node counts, and
+// cost profiles.  Whatever the adaptation sequence turns out to be, the
+// invariants must hold:
+//   - every row is owned by exactly one active node,
+//   - data written once is intact wherever it lands,
+//   - block counts always cover the row space,
+//   - identical seeds give identical runs.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dynmpi/runtime.hpp"
+#include "mpisim/machine.hpp"
+#include "mpisim/rank.hpp"
+#include "support/rng.hpp"
+
+namespace dynmpi {
+namespace {
+
+struct ChaosParams {
+    int nodes;
+    int rows;
+    int cycles;
+    std::uint64_t seed;
+};
+
+struct ChaosOutcome {
+    bool data_ok = true;
+    int redistributions = 0;
+    int drops = 0;
+    int readds = 0;
+    std::vector<int> final_counts;
+    double elapsed = 0;
+    double checksum = 0;
+};
+
+ChaosOutcome run_chaos(const ChaosParams& cp) {
+    Rng rng(cp.seed);
+    sim::ClusterConfig cc;
+    cc.num_nodes = cp.nodes;
+    cc.seed = cp.seed;
+    cc.ps_period = sim::from_seconds(0.25);
+    msg::Machine m(cc);
+
+    // Random load script: competing processes come and go on random nodes.
+    int n_events = 2 + static_cast<int>(rng.next_below(4));
+    for (int e = 0; e < n_events; ++e) {
+        int node = static_cast<int>(rng.next_below((std::uint64_t)cp.nodes));
+        double start = rng.uniform(0.2, 3.0);
+        double end = rng.next_double() < 0.5 ? -1.0 : start + rng.uniform(1.0, 4.0);
+        int count = 1 + static_cast<int>(rng.next_below(3));
+        sim::BurstSpec spec;
+        if (rng.next_double() < 0.3) {
+            spec.period_s = rng.uniform(0.05, 0.4);
+            spec.duty = rng.uniform(0.3, 0.9);
+        }
+        m.cluster().add_load_interval(node, start, end, count, spec);
+    }
+
+    double row_cost_base = rng.uniform(1e-3, 8e-3);
+    ChaosOutcome out;
+    m.run([&](msg::Rank& r) {
+        RuntimeOptions o;
+        o.calibrate = false;
+        o.enable_removal = true; // anything may happen
+        Runtime rt(r, cp.rows, o);
+        auto& A = rt.register_dense("A", 4, sizeof(double));
+        int ph = rt.init_phase(
+            0, cp.rows, PhaseComm{CommPattern::NearestNeighbor, 32});
+        rt.add_array_access("A", AccessMode::Write, ph, 1, 0);
+        rt.add_array_access("A", AccessMode::Read, ph, 1, -1);
+        rt.add_array_access("A", AccessMode::Read, ph, 1, +1);
+        rt.commit_setup();
+
+        for (int row : rt.my_iters(ph).to_vector())
+            for (int j = 0; j < 4; ++j)
+                A.at<double>(row, j) = row * 7.0 + j;
+
+        for (int c = 0; c < cp.cycles; ++c) {
+            rt.begin_cycle();
+            if (rt.participating()) {
+                std::vector<double> costs(
+                    static_cast<std::size_t>(rt.my_iters(ph).count()),
+                    row_cost_base);
+                rt.run_phase(ph, costs);
+            }
+            rt.end_cycle();
+        }
+
+        // Invariants.
+        bool ok = true;
+        for (int row : rt.my_iters(ph).to_vector())
+            for (int j = 0; j < 4; ++j)
+                if (A.at<double>(row, j) != row * 7.0 + j) ok = false;
+        double local = 0;
+        for (int row : rt.my_iters(ph).to_vector())
+            local += A.at<double>(row, 0);
+        double sum = rt.allreduce_active(local, msg::OpSum{});
+        if (r.id() == 0) {
+            out.data_ok = ok;
+            out.checksum = sum;
+            out.redistributions = rt.stats().redistributions;
+            out.drops = rt.stats().physical_drops;
+            out.readds = rt.stats().readds;
+            out.final_counts = rt.distribution().counts();
+        } else if (!ok) {
+            throw Error("data corrupted on rank " + std::to_string(r.id()));
+        }
+    });
+    out.elapsed = m.elapsed_seconds();
+    return out;
+}
+
+class Chaos : public ::testing::TestWithParam<int> {};
+
+TEST_P(Chaos, InvariantsSurviveRandomLoadHistory) {
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 0x9E37;
+    Rng rng(seed);
+    ChaosParams cp;
+    cp.nodes = 2 + static_cast<int>(rng.next_below(6));
+    cp.rows = cp.nodes * (8 + static_cast<int>(rng.next_below(24)));
+    cp.cycles = 80 + static_cast<int>(rng.next_below(120));
+    cp.seed = seed;
+
+    ChaosOutcome out = run_chaos(cp);
+    EXPECT_TRUE(out.data_ok) << "seed " << seed;
+    EXPECT_EQ(std::accumulate(out.final_counts.begin(),
+                              out.final_counts.end(), 0),
+              cp.rows)
+        << "seed " << seed;
+    // Checksum: sum over rows of row*7 (column 0), distribution-independent.
+    double expect = 0;
+    for (int row = 0; row < cp.rows; ++row) expect += row * 7.0;
+    EXPECT_NEAR(out.checksum, expect, 1e-6) << "seed " << seed;
+}
+
+TEST_P(Chaos, DeterministicUnderSameSeed) {
+    std::uint64_t seed = 77777 + static_cast<std::uint64_t>(GetParam());
+    ChaosParams cp{4, 48, 100, seed};
+    ChaosOutcome a = run_chaos(cp);
+    ChaosOutcome b = run_chaos(cp);
+    EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.final_counts, b.final_counts);
+    EXPECT_EQ(a.redistributions, b.redistributions);
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.readds, b.readds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Chaos, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace dynmpi

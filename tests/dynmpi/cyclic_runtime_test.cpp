@@ -1,0 +1,111 @@
+// Cyclic initial distributions through the runtime (paper §2.1 supports
+// DMPI_BLOCK and cyclic layouts; adaptation re-lays data out as variable
+// blocks).
+#include <gtest/gtest.h>
+
+#include "dynmpi/runtime.hpp"
+#include "mpisim/machine.hpp"
+#include "mpisim/rank.hpp"
+
+namespace dynmpi {
+namespace {
+
+sim::ClusterConfig cfg(int nodes) {
+    sim::ClusterConfig c;
+    c.num_nodes = nodes;
+    c.cpu.jitter_frac = 0.0;
+    c.ps_period = sim::from_seconds(0.25);
+    return c;
+}
+
+RuntimeOptions cyclic_opts(int block = 1) {
+    RuntimeOptions o;
+    o.calibrate = false;
+    o.initial_dist = Distribution::Kind::Cyclic;
+    o.cyclic_block_size = block;
+    return o;
+}
+
+TEST(CyclicRuntime, InitialOwnershipIsRoundRobin) {
+    msg::Machine m(cfg(3));
+    m.run([](msg::Rank& r) {
+        Runtime rt(r, 12, cyclic_opts());
+        rt.register_dense("A", 2, sizeof(double));
+        int ph = rt.init_phase(0, 12, PhaseComm{CommPattern::None, 0});
+        rt.add_array_access("A", AccessMode::Write, ph);
+        rt.commit_setup();
+        auto mine = rt.my_iters(ph).to_vector();
+        ASSERT_EQ(mine.size(), 4u);
+        for (int i : mine) EXPECT_EQ(i % 3, r.id());
+    });
+}
+
+TEST(CyclicRuntime, BlockCyclicRespectsBlockSize) {
+    msg::Machine m(cfg(2));
+    m.run([](msg::Rank& r) {
+        Runtime rt(r, 16, cyclic_opts(4));
+        rt.register_dense("A", 1, sizeof(double));
+        int ph = rt.init_phase(0, 16, PhaseComm{CommPattern::None, 0});
+        rt.add_array_access("A", AccessMode::Write, ph);
+        rt.commit_setup();
+        auto mine = rt.my_iters(ph);
+        EXPECT_EQ(mine.intervals().size(), 2u); // two blocks of 4
+        EXPECT_EQ(mine.count(), 8);
+    });
+}
+
+TEST(CyclicRuntime, NonContiguousRowsAllocated) {
+    msg::Machine m(cfg(4));
+    m.run([](msg::Rank& r) {
+        Runtime rt(r, 32, cyclic_opts());
+        auto& A = rt.register_dense("A", 2, sizeof(double));
+        int ph = rt.init_phase(0, 32, PhaseComm{CommPattern::None, 0});
+        rt.add_array_access("A", AccessMode::Write, ph);
+        rt.commit_setup();
+        for (int i : rt.my_iters(ph).to_vector())
+            A.at<double>(i, 0) = i; // must be allocated
+        // Exactly my (non-contiguous) rows are held — nothing else.
+        EXPECT_EQ(A.held(), rt.my_iters(ph));
+        EXPECT_FALSE(A.has_row((r.id() + 1) % 4));
+    });
+}
+
+TEST(CyclicRuntime, AdaptationMovesCyclicToVariableBlock) {
+    msg::Machine m(cfg(4));
+    m.cluster().add_load_interval(1, 0.5, -1.0, 2);
+    m.run([](msg::Rank& r) {
+        RuntimeOptions o = cyclic_opts();
+        o.enable_removal = false;
+        Runtime rt(r, 64, o);
+        auto& A = rt.register_dense("A", 4, sizeof(double));
+        int ph = rt.init_phase(0, 64, PhaseComm{CommPattern::None, 0});
+        rt.add_array_access("A", AccessMode::Write, ph);
+        rt.commit_setup();
+
+        // Author data under the cyclic layout.
+        for (int i : rt.my_iters(ph).to_vector())
+            for (int j = 0; j < 4; ++j) A.at<double>(i, j) = i * 10.0 + j;
+
+        for (int t = 0; t < 80; ++t) {
+            rt.begin_cycle();
+            if (rt.participating()) {
+                std::vector<double> costs(
+                    static_cast<std::size_t>(rt.my_iters(ph).count()), 5e-3);
+                rt.run_phase(ph, costs);
+            }
+            rt.end_cycle();
+        }
+        // Adapted to a block distribution with the loaded node shorted.
+        EXPECT_GE(rt.stats().redistributions, 1);
+        EXPECT_EQ(rt.distribution().kind(), Distribution::Kind::Block);
+        auto counts = rt.distribution().counts();
+        EXPECT_LT(counts[1], counts[0]);
+        // Data survived the cyclic→block move.
+        for (int i : rt.my_iters(ph).to_vector())
+            for (int j = 0; j < 4; ++j)
+                EXPECT_DOUBLE_EQ(A.at<double>(i, j), i * 10.0 + j);
+    });
+}
+
+}  // namespace
+}  // namespace dynmpi

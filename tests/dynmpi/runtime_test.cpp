@@ -1,0 +1,359 @@
+// End-to-end tests of the Dyn-MPI runtime state machine on the simulated
+// cluster: detection → grace → redistribution → post-grace → removal.
+#include "dynmpi/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpisim/machine.hpp"
+#include "mpisim/rank.hpp"
+
+namespace dynmpi {
+namespace {
+
+sim::ClusterConfig cfg(int nodes, double jitter = 0.0) {
+    sim::ClusterConfig c;
+    c.num_nodes = nodes;
+    c.cpu.jitter_frac = jitter;
+    c.ps_period = sim::from_seconds(0.25); // fast daemon for quick tests
+    return c;
+}
+
+RuntimeOptions fast_opts() {
+    RuntimeOptions o;
+    o.calibrate = false; // defaults match the simulated network
+    return o;
+}
+
+/// A minimal Jacobi-like SPMD driver: N rows, per-row cost `row_cost`,
+/// nearest-neighbor halo exchange, `cycles` phase cycles.  Returns the
+/// runtime for post-run inspection via `out`.
+struct DriverResult {
+    RuntimeStats stats;
+    Distribution final_dist;
+    msg::Group final_active;
+    bool data_ok = true;
+};
+
+DriverResult run_driver(msg::Machine& m, int rows, double row_cost,
+                        int cycles, RuntimeOptions opts,
+                        std::size_t row_elems = 16) {
+    DriverResult result;
+    m.run([&](msg::Rank& r) {
+        Runtime rt(r, rows, opts);
+        auto& A = rt.register_dense("A", static_cast<int>(row_elems),
+                                    sizeof(double));
+        int ph = rt.init_phase(
+            0, rows, PhaseComm{CommPattern::NearestNeighbor,
+                               row_elems * sizeof(double)});
+        rt.add_array_access("A", AccessMode::Write, ph, 1, 0);
+        rt.add_array_access("A", AccessMode::Read, ph, 1, -1);
+        rt.add_array_access("A", AccessMode::Read, ph, 1, +1);
+        rt.commit_setup();
+
+        // Author the initial data: every owned row gets f(row).
+        for (int row : rt.my_iters(ph).to_vector())
+            for (std::size_t j = 0; j < row_elems; ++j)
+                A.at<double>(row, static_cast<int>(j)) = row * 100.0 + (double)j;
+
+        for (int c = 0; c < cycles; ++c) {
+            rt.begin_cycle();
+            if (rt.participating()) {
+                RowSet iters = rt.my_iters(ph);
+                std::vector<double> costs(
+                    static_cast<std::size_t>(iters.count()), row_cost);
+                rt.run_phase(ph, costs);
+                // Halo exchange with relative neighbors.
+                int rel = rt.rel_rank(), n = rt.num_active();
+                std::vector<double> row_buf(row_elems);
+                if (rel > 0)
+                    rt.send_rel(rel - 1, 1,
+                                A.row_data(rt.start_iter(ph)),
+                                row_elems * sizeof(double));
+                if (rel < n - 1)
+                    rt.send_rel(rel + 1, 2, A.row_data(rt.end_iter(ph)),
+                                row_elems * sizeof(double));
+                if (rel < n - 1)
+                    rt.recv_rel(rel + 1, 1, row_buf.data(),
+                                row_elems * sizeof(double));
+                if (rel > 0)
+                    rt.recv_rel(rel - 1, 2, row_buf.data(),
+                                row_elems * sizeof(double));
+            }
+            rt.end_cycle();
+        }
+
+        // Validate data integrity after any number of redistributions.
+        for (int row : rt.my_iters(ph).to_vector())
+            for (std::size_t j = 0; j < row_elems; ++j)
+                if (A.at<double>(row, static_cast<int>(j)) !=
+                    row * 100.0 + (double)j)
+                    result.data_ok = false;
+
+        if (r.id() == 0) {
+            result.stats = rt.stats();
+            result.final_dist = rt.distribution();
+            result.final_active = rt.active_group();
+        }
+    });
+    return result;
+}
+
+TEST(Runtime, StaysEvenWhenDedicated) {
+    msg::Machine m(cfg(4));
+    auto res = run_driver(m, 64, 0.005, 20, fast_opts());
+    EXPECT_EQ(res.stats.redistributions, 0);
+    EXPECT_EQ(res.final_dist.counts(), (std::vector<int>{16, 16, 16, 16}));
+    EXPECT_TRUE(res.data_ok);
+}
+
+TEST(Runtime, AdaptsToCompetingProcess) {
+    msg::Machine m(cfg(4));
+    // CP lands on node 2 at t=1s and stays.
+    m.cluster().add_load_interval(2, 1.0, -1.0);
+    RuntimeOptions o = fast_opts();
+    o.enable_removal = false;
+    auto res = run_driver(m, 64, 0.02, 60, o);
+    EXPECT_GE(res.stats.redistributions, 1);
+    EXPECT_TRUE(res.data_ok);
+    auto counts = res.final_dist.counts();
+    ASSERT_EQ(counts.size(), 4u);
+    // Loaded node gets materially fewer rows than unloaded peers.
+    EXPECT_LT(counts[2], counts[0] - 2);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 64);
+}
+
+TEST(Runtime, NoAdaptBaselineNeverRedistributes) {
+    msg::Machine m(cfg(4));
+    m.cluster().add_load_interval(2, 1.0, -1.0);
+    RuntimeOptions o = fast_opts();
+    o.adapt = false;
+    auto res = run_driver(m, 64, 0.02, 40, o);
+    EXPECT_EQ(res.stats.redistributions, 0);
+    EXPECT_EQ(res.final_dist.counts(), (std::vector<int>{16, 16, 16, 16}));
+}
+
+TEST(Runtime, AdaptationImprovesElapsedTime) {
+    auto elapsed_with = [](bool adapt) {
+        msg::Machine m(cfg(4));
+        m.cluster().add_load_interval(1, 1.0, -1.0, 2); // 2 CPs
+        RuntimeOptions o;
+        o.calibrate = false;
+        o.adapt = adapt;
+        o.enable_removal = false;
+        run_driver(m, 64, 0.02, 80, o);
+        return m.elapsed_seconds();
+    };
+    double t_adapt = elapsed_with(true);
+    double t_static = elapsed_with(false);
+    EXPECT_LT(t_adapt, 0.8 * t_static);
+}
+
+TEST(Runtime, RebalancesBackWhenLoadDisappears) {
+    msg::Machine m(cfg(4));
+    m.cluster().add_load_interval(3, 1.0, 6.0);
+    RuntimeOptions o = fast_opts();
+    o.enable_removal = false;
+    auto res = run_driver(m, 64, 0.02, 120, o);
+    EXPECT_GE(res.stats.redistributions, 2); // away and back
+    auto counts = res.final_dist.counts();
+    // After the CP dies, the distribution drifts back to near-even.
+    for (int c : counts) EXPECT_NEAR(c, 16, 3);
+    EXPECT_TRUE(res.data_ok);
+}
+
+TEST(Runtime, PhysicalRemovalDropsLoadedNode) {
+    msg::Machine m(cfg(4));
+    m.cluster().add_load_interval(1, 0.3, -1.0, 5); // heavy load
+    RuntimeOptions o = fast_opts();
+    o.enable_removal = true;
+    // Small compute, expensive comm (32 KB rows): removal-friendly regime.
+    auto res = run_driver(m, 48, 0.0001, 400, o, /*row_elems=*/4096);
+    EXPECT_GE(res.stats.physical_drops, 1);
+    EXPECT_EQ(res.final_active.size(), 3);
+    EXPECT_FALSE(res.final_active.contains(1));
+    EXPECT_TRUE(res.data_ok);
+}
+
+TEST(Runtime, RemovalKeepsNodeWhenComputeDominates) {
+    msg::Machine m(cfg(4));
+    m.cluster().add_load_interval(1, 1.0, -1.0, 1);
+    RuntimeOptions o = fast_opts();
+    o.enable_removal = true;
+    auto res = run_driver(m, 64, 0.05, 80, o); // compute-heavy
+    EXPECT_EQ(res.stats.physical_drops, 0);
+    EXPECT_EQ(res.final_active.size(), 4);
+}
+
+TEST(Runtime, LogicalDropKeepsMinimumRows) {
+    msg::Machine m(cfg(4));
+    m.cluster().add_load_interval(1, 0.3, -1.0, 5);
+    RuntimeOptions o = fast_opts();
+    o.drop_mode = DropMode::Logical;
+    auto res = run_driver(m, 48, 0.0001, 400, o, /*row_elems=*/4096);
+    EXPECT_GE(res.stats.logical_drops, 1);
+    EXPECT_EQ(res.final_active.size(), 4); // still in the active set
+    auto counts = res.final_dist.counts();
+    EXPECT_GE(counts[1], 1);
+    EXPECT_LE(counts[1], 2); // minimum assignment only
+    EXPECT_TRUE(res.data_ok);
+}
+
+TEST(Runtime, DroppedNodeReturnsWhenLoadClears) {
+    msg::Machine m(cfg(4));
+    m.cluster().add_load_interval(1, 0.3, 2.5, 5);
+    RuntimeOptions o = fast_opts();
+    o.enable_removal = true;
+    auto res = run_driver(m, 48, 0.0001, 700, o, /*row_elems=*/4096);
+    EXPECT_GE(res.stats.physical_drops, 1);
+    EXPECT_GE(res.stats.readds, 1);
+    EXPECT_EQ(res.final_active.size(), 4);
+    EXPECT_TRUE(res.data_ok);
+}
+
+TEST(Runtime, DeterministicAcrossIdenticalRuns) {
+    auto run_once = [] {
+        msg::Machine m(cfg(4));
+        m.cluster().add_load_interval(2, 1.0, 5.0, 2);
+        auto res = run_driver(m, 64, 0.01, 60, fast_opts());
+        return std::make_pair(m.elapsed_seconds(), res.final_dist.counts());
+    };
+    auto a = run_once();
+    auto b = run_once();
+    EXPECT_DOUBLE_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Runtime, SetupOrderEnforced) {
+    msg::Machine m(cfg(2));
+    EXPECT_THROW(m.run([](msg::Rank& r) {
+        Runtime rt(r, 16);
+        rt.begin_cycle(); // before commit_setup
+    }),
+                 Error);
+}
+
+TEST(Runtime, RunPhaseCostAlignmentEnforced) {
+    msg::Machine m(cfg(2));
+    EXPECT_THROW(m.run([](msg::Rank& r) {
+        RuntimeOptions o;
+        o.calibrate = false;
+        Runtime rt(r, 16, o);
+        rt.register_dense("A", 1, sizeof(double));
+        int ph = rt.init_phase(0, 16, PhaseComm{CommPattern::None, 0});
+        rt.add_array_access("A", AccessMode::Write, ph);
+        rt.commit_setup();
+        rt.begin_cycle();
+        rt.run_phase(ph, std::vector<double>(3, 0.1)); // wrong length
+    }),
+                 Error);
+}
+
+TEST(Runtime, CalibrationProducesPlausibleModel) {
+    msg::Machine m(cfg(2));
+    m.run([](msg::Rank& r) {
+        Runtime rt(r, 16); // calibrate = true by default
+        rt.register_dense("A", 4, sizeof(double));
+        int ph = rt.init_phase(0, 16, PhaseComm{CommPattern::None, 0});
+        rt.add_array_access("A", AccessMode::Write, ph);
+        rt.commit_setup();
+        const CommCosts& c = rt.comm_costs();
+        const sim::NetParams truth{}; // simulator ground truth
+        EXPECT_NEAR(c.bandwidth_Bps, truth.bandwidth_Bps,
+                    truth.bandwidth_Bps * 0.2);
+        EXPECT_NEAR(c.cpu_per_msg_s, truth.cpu_per_msg_s,
+                    truth.cpu_per_msg_s * 0.5 + 1e-5);
+        EXPECT_GT(c.latency_s, 0.0);
+        EXPECT_LT(c.latency_s, 5 * truth.latency_s);
+    });
+}
+
+TEST(Runtime, AllreduceActiveSendOutReachesRemovedNodes) {
+    msg::Machine m(cfg(3));
+    m.cluster().add_load_interval(2, 0.5, -1.0, 3);
+    m.run([](msg::Rank& r) {
+        RuntimeOptions o;
+        o.calibrate = false;
+        o.enable_removal = true;
+        Runtime rt(r, 24, o);
+        rt.register_dense("A", 2, sizeof(double));
+        int ph = rt.init_phase(
+            0, 24, PhaseComm{CommPattern::NearestNeighbor, 16});
+        rt.add_array_access("A", AccessMode::Write, ph);
+        rt.commit_setup();
+
+        double final_sum = -1;
+        for (int c = 0; c < 150; ++c) {
+            rt.begin_cycle();
+            if (rt.participating()) {
+                std::vector<double> costs(
+                    static_cast<std::size_t>(rt.my_iters(ph).count()),
+                    0.0005);
+                rt.run_phase(ph, costs);
+            }
+            // Every world rank calls this: active contribute, removed get
+            // the result pushed (send-out).
+            final_sum = rt.allreduce_active(
+                rt.participating() ? 1.0 : 1000.0, msg::OpSum{});
+            rt.end_cycle();
+        }
+        // After the drop, only active nodes contribute (sum == #active);
+        // the removed node must still observe the same value.
+        EXPECT_LT(final_sum, 100.0) << "removed node leaked into send-in";
+        EXPECT_DOUBLE_EQ(final_sum,
+                         static_cast<double>(rt.num_active()));
+    });
+}
+
+TEST(Runtime, SparseArrayRedistributesWithRuntime) {
+    msg::Machine m(cfg(3));
+    m.cluster().add_load_interval(0, 1.0, -1.0, 2);
+    m.run([](msg::Rank& r) {
+        RuntimeOptions o;
+        o.calibrate = false;
+        o.enable_removal = false;
+        Runtime rt(r, 30, o);
+        auto& S = rt.register_sparse("S", 50);
+        int ph = rt.init_phase(0, 30, PhaseComm{CommPattern::AllGather, 64});
+        rt.add_array_access("S", AccessMode::Write, ph);
+        rt.commit_setup();
+
+        for (int row : rt.my_iters(ph).to_vector()) {
+            S.set(row, row % 50, row + 0.5);
+            S.set(row, (row + 13) % 50, -1.0);
+        }
+
+        for (int c = 0; c < 60; ++c) {
+            rt.begin_cycle();
+            if (rt.participating()) {
+                std::vector<double> costs(
+                    static_cast<std::size_t>(rt.my_iters(ph).count()), 0.01);
+                rt.run_phase(ph, costs);
+            }
+            rt.end_cycle();
+        }
+        EXPECT_GE(rt.stats().redistributions, 1);
+        for (int row : rt.my_iters(ph).to_vector()) {
+            EXPECT_DOUBLE_EQ(S.get(row, row % 50), row + 0.5);
+            EXPECT_EQ(S.row_nnz(row), row % 50 == (row + 13) % 50 ? 1 : 2);
+        }
+    });
+}
+
+TEST(Runtime, HistoryRecordsRedistributionCycles) {
+    msg::Machine m(cfg(2));
+    m.cluster().add_load_interval(1, 1.0, -1.0);
+    RuntimeOptions o = fast_opts();
+    o.enable_removal = false;
+    auto res = run_driver(m, 32, 0.02, 50, o);
+    int redist_cycles = 0;
+    for (const auto& rec : res.stats.history)
+        if (rec.redistributed) ++redist_cycles;
+    EXPECT_EQ(redist_cycles, res.stats.redistributions);
+    EXPECT_EQ(static_cast<int>(res.stats.history.size()), 50);
+    EXPECT_GT(res.stats.redist_wall_s, 0.0);
+}
+
+}  // namespace
+}  // namespace dynmpi

@@ -1,0 +1,129 @@
+#include "mpisim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpisim/rank.hpp"
+#include "support/error.hpp"
+
+namespace dynmpi::msg {
+namespace {
+
+sim::ClusterConfig cfg(int nodes) {
+    sim::ClusterConfig c;
+    c.num_nodes = nodes;
+    c.cpu.jitter_frac = 0.0;
+    return c;
+}
+
+TEST(Machine, RunsEveryRankExactlyOnce) {
+    Machine m(cfg(4));
+    std::vector<int> ran(4, 0);
+    m.run([&](Rank& r) { ran[static_cast<size_t>(r.id())]++; });
+    EXPECT_EQ(ran, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(Machine, RanksSeeCorrectIdAndSize) {
+    Machine m(cfg(3));
+    m.run([](Rank& r) {
+        EXPECT_GE(r.id(), 0);
+        EXPECT_LT(r.id(), 3);
+        EXPECT_EQ(r.size(), 3);
+    });
+}
+
+TEST(Machine, ComputeAdvancesVirtualTime) {
+    Machine m(cfg(2));
+    m.run([](Rank& r) { r.compute(1.0 + r.id()); });
+    // Ranks compute in parallel: total time = max over ranks.
+    EXPECT_NEAR(m.elapsed_seconds(), 2.0, 1e-6);
+}
+
+TEST(Machine, SleepIsNotCpuTime) {
+    Machine m(cfg(1));
+    double cpu = -1;
+    m.run([&](Rank& r) {
+        r.sleep(5.0);
+        cpu = r.exact_cpu_time();
+    });
+    EXPECT_NEAR(m.elapsed_seconds(), 5.0, 1e-9);
+    EXPECT_NEAR(cpu, 0.0, 1e-9);
+}
+
+TEST(Machine, RankExceptionPropagates) {
+    Machine m(cfg(2));
+    EXPECT_THROW(m.run([](Rank& r) {
+        if (r.id() == 1) throw std::runtime_error("rank boom");
+        r.compute(0.1);
+    }),
+                 std::runtime_error);
+}
+
+TEST(Machine, DeadlockDetectedAndReported) {
+    Machine m(cfg(2));
+    try {
+        m.run([](Rank& r) {
+            if (r.id() == 0) {
+                double buf;
+                r.recv(1, 7, &buf, sizeof buf); // never sent
+            }
+        });
+        FAIL() << "expected deadlock error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("0"), std::string::npos);
+    }
+}
+
+TEST(Machine, SecondRunRejected) {
+    Machine m(cfg(1));
+    m.run([](Rank&) {});
+    EXPECT_THROW(m.run([](Rank&) {}), Error);
+}
+
+TEST(Machine, CompetingProcessSlowsOnlyItsNode) {
+    Machine m(cfg(2));
+    m.cluster().add_load_interval(1, 0.0, -1.0);
+    std::vector<double> end_times(2);
+    m.run([&](Rank& r) {
+        r.compute(2.0);
+        end_times[static_cast<size_t>(r.id())] = r.hrtime();
+    });
+    EXPECT_NEAR(end_times[0], 2.0, 1e-6);
+    EXPECT_NEAR(end_times[1], 4.0, 1e-6);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+    auto run_once = [] {
+        Machine m(cfg(4));
+        m.cluster().add_load_interval(2, 0.5, 1.5);
+        m.run([](Rank& r) {
+            for (int i = 0; i < 5; ++i) {
+                r.compute(0.1);
+                int right = (r.id() + 1) % r.size();
+                int left = (r.id() + r.size() - 1) % r.size();
+                double x = r.hrtime();
+                r.send(right, i, &x, sizeof x);
+                double y;
+                r.recv(left, i, &y, sizeof y);
+            }
+        });
+        return m.elapsed_seconds();
+    };
+    EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Machine, DestructorCleansUpAfterFailure) {
+    // A machine whose run() threw must still destruct without hanging.
+    auto m = std::make_unique<Machine>(cfg(2));
+    EXPECT_THROW(m->run([](Rank& r) {
+        if (r.id() == 0) throw std::runtime_error("die");
+        double buf;
+        r.recv(0, 1, &buf, sizeof buf);
+    }),
+                 std::runtime_error);
+    m.reset(); // must not deadlock
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace dynmpi::msg

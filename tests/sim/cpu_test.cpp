@@ -1,0 +1,183 @@
+#include "sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace dynmpi::sim {
+namespace {
+
+CpuParams no_jitter() {
+    CpuParams p;
+    p.jitter_frac = 0.0;
+    return p;
+}
+
+TEST(Cpu, UnloadedBatchTakesItsCost) {
+    Engine e;
+    Cpu cpu(e, 0, no_jitter(), 1);
+    bool done = false;
+    cpu.start_batch(2.0, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(to_seconds(e.now()), 2.0, 1e-6);
+    EXPECT_NEAR(cpu.app_cpu_seconds(), 2.0, 1e-6);
+}
+
+TEST(Cpu, SpeedScalesElapsedTime) {
+    Engine e;
+    CpuParams p = no_jitter();
+    p.speed = 2.0;
+    Cpu cpu(e, 0, p, 1);
+    cpu.start_batch(2.0, [] {});
+    e.run();
+    EXPECT_NEAR(to_seconds(e.now()), 1.0, 1e-6);
+}
+
+TEST(Cpu, OneCompetitorDoublesElapsed) {
+    Engine e;
+    Cpu cpu(e, 0, no_jitter(), 1);
+    cpu.set_runnable_competitors(1);
+    cpu.start_batch(3.0, [] {});
+    e.run();
+    EXPECT_NEAR(to_seconds(e.now()), 6.0, 1e-6);
+    // CPU time consumed is still the unloaded cost.
+    EXPECT_NEAR(cpu.app_cpu_seconds(), 3.0, 1e-6);
+}
+
+TEST(Cpu, MidBatchLoadChangeIntegratesPiecewise) {
+    Engine e;
+    Cpu cpu(e, 0, no_jitter(), 1);
+    // 4s of work; competitor arrives at t=1. First second does 1s of work,
+    // remaining 3s run at half rate → 6s more → total 7s.
+    cpu.start_batch(4.0, [] {});
+    e.at(from_seconds(1.0), [&] { cpu.set_runnable_competitors(1); });
+    e.run();
+    EXPECT_NEAR(to_seconds(e.now()), 7.0, 1e-5);
+    EXPECT_NEAR(cpu.app_cpu_seconds(), 4.0, 1e-5);
+}
+
+TEST(Cpu, LoadRemovalSpeedsBackUp) {
+    Engine e;
+    Cpu cpu(e, 0, no_jitter(), 1);
+    cpu.set_runnable_competitors(3);
+    cpu.start_batch(2.0, [] {});
+    // At t=4 (1s of work done at 1/4 rate), all competitors leave.
+    e.at(from_seconds(4.0), [&] { cpu.set_runnable_competitors(0); });
+    e.run();
+    EXPECT_NEAR(to_seconds(e.now()), 5.0, 1e-5);
+}
+
+TEST(Cpu, SequentialBatchesAccumulateCpuTime) {
+    Engine e;
+    Cpu cpu(e, 0, no_jitter(), 1);
+    cpu.start_batch(1.0, [&] { cpu.start_batch(1.5, [] {}); });
+    e.run();
+    EXPECT_NEAR(cpu.app_cpu_seconds(), 2.5, 1e-6);
+    EXPECT_EQ(cpu.batches_run(), 2u);
+}
+
+TEST(Cpu, OverlappingBatchRejected) {
+    Engine e;
+    Cpu cpu(e, 0, no_jitter(), 1);
+    cpu.start_batch(1.0, [] {});
+    EXPECT_THROW(cpu.start_batch(1.0, [] {}), dynmpi::Error);
+}
+
+TEST(Cpu, AppRunningCallbackBracketsBatch) {
+    Engine e;
+    Cpu cpu(e, 0, no_jitter(), 1);
+    std::vector<bool> transitions;
+    cpu.set_app_running_cb([&](bool r) { transitions.push_back(r); });
+    cpu.start_batch(1.0, [] {});
+    e.run();
+    EXPECT_EQ(transitions, (std::vector<bool>{true, false}));
+}
+
+TEST(Cpu, ReconstructRowsMatchesBatchTotalUnloaded) {
+    Engine e;
+    Cpu cpu(e, 0, no_jitter(), 1);
+    std::vector<double> rows(10, 0.05);
+    double total = std::accumulate(rows.begin(), rows.end(), 0.0);
+    SimTime t0 = e.now();
+    cpu.start_batch(total, [] {});
+    e.run();
+    auto rt = cpu.reconstruct_rows(rows, t0, 99);
+    double wall_sum = std::accumulate(rt.wall.begin(), rt.wall.end(), 0.0);
+    EXPECT_NEAR(wall_sum, to_seconds(e.now() - t0), 1e-6);
+    for (double c : rt.cpu) EXPECT_NEAR(c, 0.05, 1e-9);
+}
+
+TEST(Cpu, ReconstructRowsSpansLoadChange) {
+    Engine e;
+    Cpu cpu(e, 0, no_jitter(), 1);
+    // Two rows of 1s each; a competitor arrives at t=1.5 (mid-row-2).
+    std::vector<double> rows{1.0, 1.0};
+    SimTime t0 = e.now();
+    cpu.start_batch(2.0, [] {});
+    e.at(from_seconds(1.5), [&] { cpu.set_runnable_competitors(1); });
+    e.run();
+    auto rt = cpu.reconstruct_rows(rows, t0, 1);
+    EXPECT_NEAR(rt.wall[0], 1.0, 1e-6);
+    // Row 2: 0.5s unloaded + 0.5s of work at half rate (1s) = 1.5s.
+    EXPECT_NEAR(rt.wall[1], 1.5, 1e-6);
+    EXPECT_NEAR(to_seconds(e.now()), 2.5, 1e-5);
+}
+
+TEST(Cpu, JitterSpikesSomeRowsOnLoadedNode) {
+    // Preemptions land inside a 2ms row with probability ~2/30, so across
+    // many rows a few measurements spike while most stay clean — the
+    // property the grace-period min filter relies on.
+    Engine e;
+    CpuParams p; // default jitter_frac = 1.0
+    p.quantum_s = 0.030;
+    Cpu cpu(e, 0, p, 7);
+    cpu.set_runnable_competitors(2);
+    std::vector<double> rows(200, 0.002);
+    double total = 0.4;
+    SimTime t0 = e.now();
+    cpu.start_batch(total, [] {});
+    e.run();
+    auto rt = cpu.reconstruct_rows(rows, t0, 3);
+    int spiked = 0, clean = 0;
+    for (double w : rt.wall) {
+        EXPECT_GE(w, 0.006 - 1e-9); // never below the true loaded time
+        if (w > 0.009)
+            ++spiked;
+        else
+            ++clean;
+    }
+    EXPECT_GE(spiked, 3);    // jitter must bite occasionally...
+    EXPECT_GT(clean, 150);   // ...but most samples stay clean
+}
+
+TEST(Cpu, JitterIsDeterministic) {
+    Engine e1, e2;
+    CpuParams p;
+    Cpu a(e1, 3, p, 42), b(e2, 3, p, 42);
+    a.set_runnable_competitors(1);
+    b.set_runnable_competitors(1);
+    std::vector<double> rows(5, 0.001);
+    a.start_batch(0.005, [] {});
+    b.start_batch(0.005, [] {});
+    e1.run();
+    e2.run();
+    auto ra = a.reconstruct_rows(rows, 0, 5);
+    auto rb = b.reconstruct_rows(rows, 0, 5);
+    EXPECT_EQ(ra.wall, rb.wall);
+}
+
+TEST(Cpu, ZeroWorkBatchCompletesImmediately) {
+    Engine e;
+    Cpu cpu(e, 0, no_jitter(), 1);
+    bool done = false;
+    cpu.start_batch(0.0, [&] { done = true; });
+    e.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(e.now(), 0);
+}
+
+}  // namespace
+}  // namespace dynmpi::sim

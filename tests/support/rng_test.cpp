@@ -1,0 +1,65 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dynmpi {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(7), b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next_u64() == b.next_u64()) ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+    Rng r(123);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.uniform(-2.5, 4.5);
+        EXPECT_GE(d, -2.5);
+        EXPECT_LT(d, 4.5);
+    }
+}
+
+TEST(Rng, UniformMeanRoughlyCentered) {
+    Rng r(55);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += r.next_double();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Splitmix, IsAPermutationOnSmallSample) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(splitmix64(i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HashCombine, OrderSensitive) {
+    EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Splitmix, Constexpr) {
+    static_assert(splitmix64(0) != 0, "splitmix64 must be usable at compile time");
+    SUCCEED();
+}
+
+}  // namespace
+}  // namespace dynmpi

@@ -1,0 +1,50 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dynmpi {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer-name", "22"});
+    std::string s = t.render();
+    // Every line should have the same position for the second column.
+    auto first_line_end = s.find('\n');
+    ASSERT_NE(first_line_end, std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    EXPECT_NE(s.find("value"), std::string::npos);
+}
+
+TEST(TextTable, CountsRows) {
+    TextTable t;
+    t.header({"x"});
+    EXPECT_EQ(t.num_rows(), 0u);
+    t.row({"1"});
+    t.row({"2"});
+    EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+    TextTable t;
+    t.header({"a", "b"});
+    t.row({"only-one"});
+    t.row({"x", "y", "extra"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("extra"), std::string::npos);
+}
+
+TEST(Fmt, FormatsWithPrecision) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Pct, FormatsRatioAsPercent) {
+    EXPECT_EQ(pct(0.167, 1), "16.7%");
+    EXPECT_EQ(pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace dynmpi
