@@ -53,6 +53,7 @@ double settled_cycle(BalanceScheme scheme, double sec_per_row,
 }  // namespace
 
 int main_impl() {
+    enable_metrics();
     std::printf("Ablation §4.3 — successive balancing vs naive relative "
                 "power (Jacobi, 4 nodes, 2 CPs on one node)\n");
     std::printf("Settled cycle time after one redistribution under each "
@@ -93,6 +94,7 @@ int main_impl() {
                 "successive balancing pulls ahead as communication grows");
     shape_check(gains[2] > 0.02,
                 "successive balancing wins in the comm-heavy regime");
+    dump_metrics("ablation_balance");
     return 0;
 }
 

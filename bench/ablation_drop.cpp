@@ -46,6 +46,7 @@ double settled_cycle(DropMode mode, int nodes, int cps) {
 }  // namespace
 
 int main_impl() {
+    enable_metrics();
     std::printf("Ablation §2.2/§4.4 — logical vs physical dropping "
                 "(CG n=2048, 3 CPs on one node)\n");
 
@@ -67,6 +68,7 @@ int main_impl() {
                 "significant')");
     shape_check(gains[0] > -0.01 && gains[1] > -0.01,
                 "physical dropping is never worse");
+    dump_metrics("ablation_drop");
     return 0;
 }
 

@@ -45,6 +45,7 @@ SenseError bursty_scenario(double duty) {
 }  // namespace
 
 int main_impl() {
+    enable_metrics();
     std::printf("Ablation §4.2 — dmpi_ps vs vmstat-style load sensing\n");
 
     TextTable t;
@@ -78,6 +79,7 @@ int main_impl() {
                 "instantaneous sampling at every duty cycle");
     shape_check(vm_apps == 0 && ps_load == 1,
                 "vmstat misses the blocked application; dmpi_ps includes it");
+    dump_metrics("ablation_load_sense");
     return 0;
 }
 

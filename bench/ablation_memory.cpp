@@ -53,6 +53,7 @@ Outcome run(bool memory_aware) {
 }  // namespace
 
 int main_impl() {
+    enable_metrics();
     std::printf("Ablation — memory-aware balancing vs paging (Jacobi, 4 "
                 "nodes; node 2 fits ~40 of 256 rows)\n");
     Outcome aware = run(true);
@@ -75,6 +76,7 @@ int main_impl() {
     shape_check(blind.counts[2] > 40,
                 "memory-blind balancing re-overloads the node once the "
                 "measured costs look clean again");
+    dump_metrics("ablation_memory");
     return 0;
 }
 

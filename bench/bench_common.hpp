@@ -11,9 +11,25 @@
 #include <string>
 
 #include "apps/app_common.hpp"
+#include "support/metrics.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 namespace dynmpi::bench {
+
+/// Turn on the metrics registry for this bench process (call once at the top
+/// of main_impl, before any Machine runs).
+inline void enable_metrics() { support::metrics().enable(); }
+
+/// Write the accumulated metrics snapshot to BENCH_<name>.json in the
+/// working directory (see docs/OBSERVABILITY.md for the schema).
+inline void dump_metrics(const std::string& name) {
+    const std::string path = "BENCH_" + name + ".json";
+    if (support::write_text_file(path, support::metrics().snapshot_json()))
+        std::printf("\nmetrics: %s\n", path.c_str());
+    else
+        std::printf("\nmetrics: failed to write %s\n", path.c_str());
+}
 
 /// Paper testbed model: 550 MHz P-III Xeon + switched 100 Mb Ethernet.
 inline sim::ClusterConfig xeon_cluster(int nodes, std::uint64_t seed = 42) {

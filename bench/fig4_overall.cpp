@@ -106,6 +106,7 @@ apps::ParticleConfig particle_cfg(int nodes) {
 }  // namespace
 
 int main_impl() {
+    enable_metrics();
     std::printf("Figure 4 — overall results (times normalized to the "
                 "dedicated version; smaller is better)\n");
 
@@ -205,6 +206,7 @@ int main_impl() {
     }
     shape_check(part4->dynmpi.elapsed < part4->noadapt.elapsed,
                 "particle: adaptation beats no-adapt despite imbalance");
+    dump_metrics("fig4_overall");
     return 0;
 }
 

@@ -103,10 +103,12 @@ void run_experiment(const char* label, int period) {
 }  // namespace
 
 int main_impl() {
+    enable_metrics();
     std::printf("Figure 5 — multiple redistribution points (Jacobi, 4 "
                 "nodes, 2048x2048)\n");
     run_experiment("Short Execution", 50);
     run_experiment("Long Execution", 500);
+    dump_metrics("fig5_redist_points");
     return 0;
 }
 

@@ -56,6 +56,7 @@ double run_policy(int nodes, int cps, bool drop) {
 }  // namespace
 
 int main_impl() {
+    enable_metrics();
     std::printf("Figure 6 — node removal (SOR 1024x1024, Ultra-Sparc "
                 "profile)\n");
     std::printf("Average phase-cycle time after redistribution; 'gain' is "
@@ -101,6 +102,7 @@ int main_impl() {
                 "benefit of removal grows with node count (8 -> 16)");
     shape_check(gain(2, 3) > gain(2, 1),
                 "on 32 nodes, more CPs -> bigger removal benefit");
+    dump_metrics("fig6_node_removal");
     return 0;
 }
 

@@ -71,6 +71,7 @@ double median_run(int part, int gp) {
 }  // namespace
 
 int main_impl() {
+    enable_metrics();
     std::printf("Figure 7 — grace-period comparison (particle sim, 8 nodes, "
                 "256x256 grid)\n");
     std::printf("Average post-redistribution phase-cycle time.\n");
@@ -101,6 +102,7 @@ int main_impl() {
     shape_check(gain50 > gain10,
                 "the benefit of the longer grace period grows with the "
                 "computation imbalance");
+    dump_metrics("fig7_grace_period");
     return 0;
 }
 

@@ -61,6 +61,7 @@ double redistribution_cost(int nodes, int rows, std::size_t row_bytes,
 }  // namespace
 
 int main_impl() {
+    enable_metrics();
     std::printf("Runtime overhead accounting (virtual time)\n");
 
     section("per-cycle monitoring cost (adapt on vs off, no load)");
@@ -98,6 +99,7 @@ int main_impl() {
     shape_check(c_big < 3.0,
                 "even a half-array move costs a few seconds at most "
                 "(paper: ~1 s for the CG redistribution)");
+    dump_metrics("overhead_table");
     return 0;
 }
 

@@ -37,6 +37,7 @@ double brute_force_share(const BalanceInput& in, int steps = 2000) {
 }  // namespace
 
 int main_impl() {
+    enable_metrics();
     std::printf("Synthetic tuning runs (companion TR [27]): model-level "
                 "validation of the distribution scheme\n");
 
@@ -95,6 +96,7 @@ int main_impl() {
     shape_check(all_converged,
                 "successive balancing converges well before the round cap "
                 "at every machine size");
+    dump_metrics("synthetic_tuning");
     return 0;
 }
 

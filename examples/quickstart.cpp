@@ -7,12 +7,21 @@
 // grace period, and redistributes — watch the block counts change.
 //
 // Build & run:  ./examples/quickstart
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --trace out.jsonl    write the structured event trace as JSONL
+//   --chrome out.json    write a chrome://tracing / Perfetto trace
+//   --metrics out.json   write the metrics registry snapshot
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "dynmpi/dmpi_c_api.hpp"
 #include "mpisim/machine.hpp"
 #include "mpisim/rank.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 using namespace dynmpi;
 using namespace dynmpi::capi;
@@ -90,7 +99,31 @@ void spmd_main(msg::Rank& rank) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string trace_path, chrome_path, metrics_path;
+    for (int i = 1; i < argc; ++i) {
+        auto want_value = [&](const char* flag) {
+            if (std::strcmp(argv[i], flag) != 0) return false;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a file path\n", flag);
+                std::exit(2);
+            }
+            return true;
+        };
+        if (want_value("--trace")) trace_path = argv[++i];
+        else if (want_value("--chrome")) chrome_path = argv[++i];
+        else if (want_value("--metrics")) metrics_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: quickstart [--trace f.jsonl] "
+                         "[--chrome f.json] [--metrics f.json]\n");
+            return 2;
+        }
+    }
+    if (!trace_path.empty() || !chrome_path.empty())
+        support::trace().enable();
+    if (!metrics_path.empty()) support::metrics().enable();
+
     sim::ClusterConfig config;
     config.num_nodes = 4;
     msg::Machine machine(config);
@@ -103,5 +136,20 @@ int main() {
     machine.run(spmd_main);
 
     std::printf("virtual elapsed: %.2f s\n", machine.elapsed_seconds());
+
+    bool io_ok = true;
+    if (!trace_path.empty())
+        io_ok &= support::write_text_file(trace_path,
+                                          support::trace().jsonl());
+    if (!chrome_path.empty())
+        io_ok &= support::write_text_file(chrome_path,
+                                          support::trace().chrome_trace());
+    if (!metrics_path.empty())
+        io_ok &= support::write_text_file(
+            metrics_path, support::metrics().snapshot_json());
+    if (!io_ok) {
+        std::fprintf(stderr, "failed to write an observability file\n");
+        return 1;
+    }
     return 0;
 }

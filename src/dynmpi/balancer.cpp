@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 
 namespace dynmpi {
 
@@ -96,7 +97,9 @@ std::vector<double> successive_shares(const BalanceInput& input,
     for (auto j : loaded) w[j] = nodes[j].power() / psum_all * total;
 
     std::vector<double> prev_unloaded(nodes.size(), 0.0);
+    int rounds_used = 0;
     for (int round = 0; round < max_rounds; ++round) {
+        ++rounds_used;
         // Balance the unloaded pool with the remainder.
         double loaded_work = 0.0;
         for (auto j : loaded) loaded_work += w[j];
@@ -126,6 +129,14 @@ std::vector<double> successive_shares(const BalanceInput& input,
     double s = std::accumulate(w.begin(), w.end(), 0.0);
     DYNMPI_CHECK(s > 0.0, "degenerate share vector");
     for (auto& x : w) x /= s;
+
+    // Convergence telemetry: every calling rank records identically, so the
+    // histogram aggregates (ranks x calls) samples of the same values.
+    if (support::metrics().enabled()) {
+        support::metrics().counter("balancer.calls").add(1);
+        support::metrics().histogram("balancer.rounds")
+            .record(static_cast<double>(rounds_used));
+    }
     return w;
 }
 

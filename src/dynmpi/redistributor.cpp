@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "mpisim/rank.hpp"
 #include "mpisim/tags.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
+#include "support/trace.hpp"
 
 namespace dynmpi {
 
@@ -59,6 +62,9 @@ RedistStats execute_redistribution(msg::Rank& rank, const RedistContext& ctx,
                                    std::uint64_t redist_seq) {
     RedistStats stats;
     const int me = rank.id();
+    const bool observed =
+        support::trace().enabled() || support::metrics().enabled();
+    const double t_start = observed ? rank.hrtime() : 0.0;
 
     // Union of participants, in ascending absolute-rank order for
     // deterministic traversal.
@@ -69,17 +75,24 @@ RedistStats execute_redistribution(msg::Rank& rank, const RedistContext& ctx,
 
     // Phase 1: pack and send everything (eager, buffered — no deadlock).
     for (std::size_t k = 0; k < arrays.size(); ++k) {
+        RedistStats::ArrayTransfer at;
+        at.array = arrays[k].array->name();
         for (int dst : parties) {
             RowSet rows = transfer_rows(ctx, arrays[k].accesses, me, dst);
             if (rows.empty()) continue;
             auto payload = arrays[k].array->pack_rows(rows);
-            stats.rows_moved += static_cast<std::uint64_t>(rows.count());
-            stats.bytes += payload.size();
-            ++stats.messages;
+            at.rows_moved += static_cast<std::uint64_t>(rows.count());
+            at.bytes += payload.size();
+            ++at.messages;
             rank.send_wire(dst, redist_tag(redist_seq, k, me, dst),
                            payload.data(), payload.size());
         }
+        stats.rows_moved += at.rows_moved;
+        stats.bytes += at.bytes;
+        stats.messages += at.messages;
+        stats.per_array.push_back(std::move(at));
     }
+    const double t_packed = observed ? rank.hrtime() : 0.0;
 
     // Phase 2: receive and unpack the symmetric plan.
     for (std::size_t k = 0; k < arrays.size(); ++k) {
@@ -91,6 +104,7 @@ RedistStats execute_redistribution(msg::Rank& rank, const RedistContext& ctx,
             arrays[k].array->unpack_rows(payload);
         }
     }
+    const double t_unpacked = observed ? rank.hrtime() : 0.0;
 
     // Phase 2.5: redistribution is a synchronization point — no node may
     // resume computing until every transfer has landed, otherwise the drain
@@ -98,6 +112,7 @@ RedistStats execute_redistribution(msg::Rank& rank, const RedistContext& ctx,
     if (parties.size() > 1 &&
         std::find(parties.begin(), parties.end(), me) != parties.end())
         msg::barrier(rank, msg::Group(parties));
+    const double t_synced = observed ? rank.hrtime() : 0.0;
 
     // Phase 3: drop what is no longer needed, allocate anything still
     // missing (e.g. ghost slots the application fills via its own halo
@@ -110,6 +125,37 @@ RedistStats execute_redistribution(msg::Rank& rank, const RedistContext& ctx,
         DYNMPI_CHECK(info.array->held() == need,
                      "redistribution left " + info.array->name() +
                          " with wrong row coverage");
+    }
+
+    if (observed) {
+        const double t_end = rank.hrtime();
+        stats.pack_s = t_packed - t_start;
+        stats.unpack_s = t_unpacked - t_packed;
+        stats.sync_s = t_synced - t_unpacked;
+        stats.cleanup_s = t_end - t_synced;
+        if (support::metrics().enabled()) {
+            auto& mx = support::metrics();
+            mx.counter("redist.rows_moved").add(stats.rows_moved);
+            mx.counter("redist.bytes").add(stats.bytes);
+            mx.counter("redist.messages").add(stats.messages);
+            mx.histogram("redist.pack_s").record(stats.pack_s);
+            mx.histogram("redist.unpack_s").record(stats.unpack_s);
+            mx.histogram("redist.sync_s").record(stats.sync_s);
+        }
+        if (support::trace().enabled()) {
+            using support::targ;
+            auto& tr = support::trace();
+            tr.span(t_start, t_packed, me, "redist.pack",
+                    {targ("seq", redist_seq), targ("rows", stats.rows_moved),
+                     targ("bytes", stats.bytes),
+                     targ("messages", stats.messages)});
+            tr.span(t_packed, t_unpacked, me, "redist.unpack",
+                    {targ("seq", redist_seq)});
+            tr.span(t_unpacked, t_synced, me, "redist.sync",
+                    {targ("seq", redist_seq)});
+            tr.span(t_synced, t_end, me, "redist.cleanup",
+                    {targ("seq", redist_seq)});
+        }
     }
     return stats;
 }

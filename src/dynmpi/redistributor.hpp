@@ -62,6 +62,23 @@ struct RedistStats {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
     std::uint64_t rows_moved = 0;
+
+    /// Per-array slice of the totals above, in registration order (what this
+    /// rank *sent*; feeds the redist.apply trace event's breakdown).
+    struct ArrayTransfer {
+        std::string array;
+        std::uint64_t messages = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t rows_moved = 0;
+    };
+    std::vector<ArrayTransfer> per_array;
+
+    /// Phase timings on this rank (sim seconds): pack+send, recv+unpack,
+    /// the closing barrier, and storage cleanup.
+    double pack_s = 0.0;
+    double unpack_s = 0.0;
+    double sync_s = 0.0;
+    double cleanup_s = 0.0;
 };
 
 /// Execute the full plan for all arrays on the calling rank.  Collective

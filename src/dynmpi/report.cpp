@@ -108,13 +108,14 @@ std::string render_events(const RuntimeStats& stats) {
 }
 
 std::string history_csv(const RuntimeStats& stats) {
-    std::ostringstream os;
-    os << "cycle,start_s,wall_s,max_wall_s,mode,redistributed\n";
+    CsvWriter w;
+    w.row({"cycle", "start_s", "wall_s", "max_wall_s", "mode",
+           "redistributed"});
     for (const auto& r : stats.history)
-        os << r.cycle << ',' << fmt(r.start_s, 6) << ',' << fmt(r.wall_s, 6)
-           << ',' << fmt(r.max_wall_s, 6) << ',' << r.mode << ','
-           << (r.redistributed ? 1 : 0) << '\n';
-    return os.str();
+        w.row({std::to_string(r.cycle), fmt(r.start_s, 6), fmt(r.wall_s, 6),
+               fmt(r.max_wall_s, 6), std::to_string(r.mode),
+               r.redistributed ? "1" : "0"});
+    return w.str();
 }
 
 double settled_cycle_time(const RuntimeStats& stats, int n) {

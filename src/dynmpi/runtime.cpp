@@ -8,7 +8,9 @@
 
 #include "mpisim/rank.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 #include "support/rng.hpp"
 
 namespace dynmpi {
@@ -42,6 +44,45 @@ std::string counts_string(const std::vector<int>& counts) {
     }
     return s;
 }
+
+using support::targ;
+
+/// Trace event name for an adaptation decision (docs/OBSERVABILITY.md).
+const char* adaptation_trace_name(AdaptationEvent::Kind k) {
+    switch (k) {
+    case AdaptationEvent::Kind::LoadChange: return "runtime.load_change";
+    case AdaptationEvent::Kind::Redistributed: return "runtime.redistributed";
+    case AdaptationEvent::Kind::Skipped: return "runtime.skipped";
+    case AdaptationEvent::Kind::Dropped: return "runtime.dropped";
+    case AdaptationEvent::Kind::LogicalDrop: return "runtime.logical_drop";
+    case AdaptationEvent::Kind::Readded: return "runtime.readded";
+    }
+    return "runtime.event";
+}
+
+/// Metric counter name for an adaptation decision (rank 0 records once per
+/// run-level decision).
+const char* adaptation_counter_name(AdaptationEvent::Kind k) {
+    switch (k) {
+    case AdaptationEvent::Kind::LoadChange: return "runtime.load_changes";
+    case AdaptationEvent::Kind::Redistributed:
+        return "runtime.redistributions";
+    case AdaptationEvent::Kind::Skipped: return "runtime.skips";
+    case AdaptationEvent::Kind::Dropped: return "runtime.drops.physical";
+    case AdaptationEvent::Kind::LogicalDrop: return "runtime.drops.logical";
+    case AdaptationEvent::Kind::Readded: return "runtime.readds";
+    }
+    return "runtime.events";
+}
+
+const char* mode_name(int mode) {
+    switch (mode) {
+    case 0: return "monitor";
+    case 1: return "grace";
+    case 2: return "post_grace";
+    }
+    return "?";
+}
 }  // namespace
 
 void Runtime::record_event(AdaptationEvent::Kind kind, std::string detail) {
@@ -49,8 +90,39 @@ void Runtime::record_event(AdaptationEvent::Kind kind, std::string detail) {
     e.kind = kind;
     e.cycle = stats_.cycles;
     e.time_s = rank_.hrtime();
+    if (support::trace().enabled())
+        support::trace().instant(e.time_s, rank_.id(),
+                                 adaptation_trace_name(kind),
+                                 {targ("cycle", e.cycle),
+                                  targ("detail", detail)});
+    if (support::metrics().enabled() && rank_.id() == 0)
+        support::metrics().counter(adaptation_counter_name(kind)).add(1);
     e.detail = std::move(detail);
     stats_.events.push_back(std::move(e));
+}
+
+void Runtime::record_redist_observability(const RedistStats& ts, double t0,
+                                          double t1, int active_before) {
+    if (support::trace().enabled()) {
+        std::vector<support::TraceArg> args{
+            targ("cycle", stats_.cycles),
+            targ("active_before", active_before),
+            targ("active_after", active_.size()),
+            targ("rows", ts.rows_moved),
+            targ("bytes", ts.bytes),
+            targ("messages", ts.messages)};
+        for (const auto& a : ts.per_array) {
+            args.push_back(targ("rows." + a.array, a.rows_moved));
+            args.push_back(targ("bytes." + a.array, a.bytes));
+        }
+        support::trace().span(t0, t1, rank_.id(), "redist.apply",
+                              std::move(args));
+    }
+    if (support::metrics().enabled()) {
+        support::metrics().histogram("redist.wall_s").record(t1 - t0);
+        support::metrics().gauge("runtime.active_nodes")
+            .set(static_cast<double>(active_.size()));
+    }
 }
 
 ArrayInfo& Runtime::info(const std::string& name) {
@@ -341,6 +413,11 @@ void Runtime::enter_grace() {
     grace_count_ = 0;
     for (std::size_t ph = 0; ph < phases_.size(); ++ph)
         phases_[ph].timer.start(my_iters(static_cast<int>(ph)).count());
+    if (support::trace().enabled())
+        support::trace().instant(rank_.hrtime(), rank_.id(),
+                                 "runtime.grace_enter",
+                                 {targ("cycle", stats_.cycles),
+                                  targ("grace_cycles", opts_.grace_cycles)});
 }
 
 void Runtime::apply_distribution(const msg::Group& new_active,
@@ -349,6 +426,7 @@ void Runtime::apply_distribution(const msg::Group& new_active,
     // invoked from the (control-plane) monitoring path.
     msg::Rank::ControlScope data_plane(rank_, /*enable=*/false);
     double t0 = rank_.hrtime();
+    const int active_before = active_.size();
     RedistContext ctx{global_rows_, &active_, &dist_, &new_active, &new_dist};
     RedistStats ts = execute_redistribution(rank_, ctx, arrays_, redist_seq_++);
     stats_.transfer.messages += ts.messages;
@@ -357,7 +435,9 @@ void Runtime::apply_distribution(const msg::Group& new_active,
     active_ = new_active;
     dist_ = new_dist;
     ++stats_.redistributions;
-    stats_.redist_wall_s += rank_.hrtime() - t0;
+    double t1 = rank_.hrtime();
+    stats_.redist_wall_s += t1 - t0;
+    record_redist_observability(ts, t0, t1, active_before);
 }
 
 Runtime::GraceDecision Runtime::compute_grace_decision(
@@ -436,6 +516,16 @@ Runtime::GraceDecision Runtime::compute_grace_decision(
                 material = true;
     }
 
+    if (support::trace().enabled())
+        support::trace().instant(
+            rank_.hrtime(), rank_.id(), "balancer.decision",
+            {targ("cycle", stats_.cycles),
+             targ("scheme", opts_.scheme == BalanceScheme::RelativePower
+                                ? "relative_power"
+                                : "successive"),
+             targ("candidates", new_active.size()),
+             targ("material", material)});
+
     GraceDecision d;
     d.material = material;
     d.new_active = new_active;
@@ -448,6 +538,16 @@ void Runtime::finish_post_grace(const std::vector<double>& world_loads) {
     double measured =
         std::accumulate(post_cycle_max_.begin(), post_cycle_max_.end(), 0.0) /
         static_cast<double>(post_cycle_max_.size());
+
+    auto exit_post_grace = [&](bool dropped) {
+        mode_ = Mode::Monitor;
+        if (support::trace().enabled())
+            support::trace().instant(rank_.hrtime(), rank_.id(),
+                                     "runtime.post_grace_exit",
+                                     {targ("cycle", stats_.cycles),
+                                      targ("measured_s", measured),
+                                      targ("dropped", dropped)});
+    };
 
     bool any_loaded = false;
     for (int w : active_.members())
@@ -469,7 +569,7 @@ void Runtime::finish_post_grace(const std::vector<double>& world_loads) {
         // With nothing unloaded to fall back on (or nothing loaded to shed),
         // there is no removal question to evaluate.
         if (unloaded == 0 || unloaded == static_cast<int>(in.nodes.size())) {
-            mode_ = Mode::Monitor;
+            exit_post_grace(false);
             return;
         }
 
@@ -479,6 +579,16 @@ void Runtime::finish_post_grace(const std::vector<double>& world_loads) {
         if (opts_.force_drop_loaded && !d.unloaded_members.empty() &&
             d.unloaded_members.size() < in.nodes.size())
             d.drop = true;
+        // The §4.4 predictor's verdict, before any drop is executed.
+        if (support::trace().enabled())
+            support::trace().instant(
+                rank_.hrtime(), rank_.id(), "runtime.removal_eval",
+                {targ("cycle", stats_.cycles),
+                 targ("predicted_unloaded_s", d.predicted_unloaded_s),
+                 targ("measured_loaded_s", d.measured_loaded_s),
+                 targ("unloaded_nodes",
+                      static_cast<int>(d.unloaded_members.size())),
+                 targ("drop", d.drop)});
         if (d.drop) {
             if (opts_.drop_mode == DropMode::Physical) {
                 std::vector<int> keep;
@@ -527,12 +637,15 @@ void Runtime::finish_post_grace(const std::vector<double>& world_loads) {
                 record_event(AdaptationEvent::Kind::LogicalDrop,
                              "blocks " + counts_string(counts));
             }
+            // Note: baseline_loads_ deliberately stays at the loads the
+            // current distribution was computed for — if the load profile
+            // shifted during the post-grace window, the very next Monitor
+            // cycle re-triggers adaptation.
+            exit_post_grace(true);
+            return;
         }
     }
-    // Note: baseline_loads_ deliberately stays at the loads the current
-    // distribution was computed for — if the load profile shifted during the
-    // post-grace window, the very next Monitor cycle re-triggers adaptation.
-    mode_ = Mode::Monitor;
+    exit_post_grace(false);
 }
 
 namespace {
@@ -630,17 +743,26 @@ void Runtime::removed_cycle_follow() {
     stats_.transfer.messages += ts.messages;
     stats_.transfer.bytes += ts.bytes;
     stats_.transfer.rows_moved += ts.rows_moved;
+    const int active_before = old_active.size();
     active_ = new_active;
     dist_ = new_dist;
     ++stats_.redistributions;
     ++stats_.readds;
-    stats_.redist_wall_s += rank_.hrtime() - t0;
+    double t1 = rank_.hrtime();
+    stats_.redist_wall_s += t1 - t0;
+    record_redist_observability(ts, t0, t1, active_before);
     record_event(AdaptationEvent::Kind::Readded,
                  "rejoined as one of " + std::to_string(active_.size()) +
                      " nodes");
     mode_ = Mode::PostGrace;
     post_count_ = 0;
     post_cycle_max_.clear();
+    if (support::trace().enabled())
+        support::trace().instant(rank_.hrtime(), rank_.id(),
+                                 "runtime.post_grace_enter",
+                                 {targ("cycle", stats_.cycles),
+                                  targ("post_grace_cycles",
+                                       opts_.post_grace_cycles)});
 }
 
 void Runtime::active_cycle_monitor(CycleRecord& rec, double wall) {
@@ -700,6 +822,13 @@ void Runtime::active_cycle_monitor(CycleRecord& rec, double wall) {
                 mode_ = Mode::PostGrace;
                 post_count_ = 0;
                 post_cycle_max_.clear();
+                if (support::trace().enabled())
+                    support::trace().instant(
+                        rank_.hrtime(), rank_.id(),
+                        "runtime.post_grace_enter",
+                        {targ("cycle", stats_.cycles),
+                         targ("post_grace_cycles",
+                              opts_.post_grace_cycles)});
             } else {
                 record_event(AdaptationEvent::Kind::Skipped,
                              "change below threshold");
@@ -740,6 +869,19 @@ void Runtime::end_cycle() {
         else
             removed_cycle_follow();
         rec.redistributed = stats_.redistributions != redist_before;
+    }
+
+    // Observability (guarded: this is the per-cycle hot path).
+    if (support::trace().enabled())
+        support::trace().span(cycle_start_, rank_.hrtime(), rank_.id(),
+                              "runtime.cycle",
+                              {targ("cycle", rec.cycle),
+                               targ("mode", mode_name(rec.mode)),
+                               targ("redistributed", rec.redistributed)});
+    if (support::metrics().enabled() && rank_.id() == 0) {
+        support::metrics().counter("runtime.cycles").add(1);
+        support::metrics().histogram("runtime.cycle_wall_s")
+            .record(rec.max_wall_s);
     }
 
     stats_.history.push_back(rec);

@@ -212,6 +212,10 @@ private:
 
     ArrayInfo& info(const std::string& name);
     void record_event(AdaptationEvent::Kind kind, std::string detail);
+    /// Emit the redist.apply trace span (per-array breakdown) and redist
+    /// metrics for a redistribution that ran over [t0, t1].
+    void record_redist_observability(const RedistStats& ts, double t0,
+                                     double t1, int active_before);
     const std::vector<Drsd>& accesses_of(const std::string& name) const;
 
     double my_load() const;       ///< dmpi_ps average competing

@@ -4,6 +4,8 @@
 
 #include "mpisim/rank.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace dynmpi::msg {
 
@@ -89,6 +91,7 @@ void Machine::run(std::function<void(Rank&)> fn) {
         if (rs->thread.joinable()) rs->thread.join();
 
     elapsed_ = sim::to_seconds(eng.now());
+    export_observability();
 
     for (auto& rs : ranks_)
         if (rs->error) std::rethrow_exception(rs->error);
@@ -98,6 +101,45 @@ void Machine::run(std::function<void(Rank&)> fn) {
         os << "deadlock: event queue drained with blocked ranks:";
         for (int r : stuck) os << ' ' << r;
         throw Error(os.str());
+    }
+}
+
+void Machine::export_observability() {
+    // One shot per run, after the clock stops: delivered-traffic totals by
+    // tag space plus the engine's event-queue stats.  Counters accumulate
+    // across Machines in one process (bench sweeps); gauges are last-run.
+    sim::Engine& eng = cluster_.engine();
+    if (support::metrics().enabled()) {
+        auto& mx = support::metrics();
+        static const char* const kSpace[3] = {"user", "collective",
+                                              "runtime"};
+        for (std::size_t s = 0; s < 3; ++s) {
+            mx.counter(std::string("machine.messages.") + kSpace[s])
+                .add(traffic_.messages[s]);
+            mx.counter(std::string("machine.bytes.") + kSpace[s])
+                .add(traffic_.bytes[s]);
+        }
+        mx.counter("machine.messages.control").add(traffic_.control_messages);
+        mx.counter("machine.bytes.control").add(traffic_.control_bytes);
+        mx.counter("machine.runs").add(1);
+        mx.gauge("machine.elapsed_s").set(elapsed_);
+        mx.counter("sim.events_fired").add(eng.events_fired());
+        mx.gauge("sim.peak_pending_events")
+            .set(static_cast<double>(eng.peak_pending_events()));
+        mx.gauge("sim.pending_events")
+            .set(static_cast<double>(eng.pending_events()));
+    }
+    if (support::trace().enabled()) {
+        using support::targ;
+        support::trace().instant(
+            elapsed_, /*rank=*/-1, "machine.run_end",
+            {targ("elapsed_s", elapsed_),
+             targ("messages", traffic_.total_messages()),
+             targ("bytes", traffic_.total_bytes()),
+             targ("control_messages", traffic_.control_messages),
+             targ("events_fired", eng.events_fired()),
+             targ("peak_pending_events",
+                  static_cast<std::uint64_t>(eng.peak_pending_events()))});
     }
 }
 

@@ -105,6 +105,8 @@ private:
     };
 
     // ---- engine-side ----
+    void export_observability();       ///< push traffic/engine stats to the
+                                       ///< metrics registry + trace sink
     void resume_rank(int r);           ///< hand the baton to rank r, wait for it back
     void on_delivery(sim::Packet&& p); ///< network upcall (engine context)
     void abort_blocked_ranks();

@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace dynmpi::sim {
@@ -16,6 +18,7 @@ EventId Engine::after(SimTime delay, std::function<void()> fn, bool weak) {
 
 bool Engine::step() {
     if (queue_.empty()) return false;
+    peak_pending_ = std::max(peak_pending_, queue_.size());
     auto [time, fn] = queue_.pop();
     DYNMPI_CHECK(time >= now_, "event queue went backwards");
     now_ = time;

@@ -44,11 +44,14 @@ public:
     bool idle() const { return queue_.empty(); }
     std::size_t pending_events() const { return queue_.size(); }
     std::uint64_t events_fired() const { return fired_; }
+    /// High-water mark of the pending-event count (queue pressure).
+    std::size_t peak_pending_events() const { return peak_pending_; }
 
 private:
     EventQueue queue_;
     SimTime now_ = 0;
     std::uint64_t fired_ = 0;
+    std::size_t peak_pending_ = 0;
 };
 
 }  // namespace dynmpi::sim

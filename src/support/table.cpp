@@ -44,6 +44,25 @@ std::string TextTable::render() const {
     return os.str();
 }
 
+std::string CsvWriter::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) out_ += ',';
+        out_ += escape(cells[i]);
+    }
+    out_ += '\n';
+}
+
 std::string fmt(double v, int prec) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.*f", prec, v);

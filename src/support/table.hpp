@@ -1,7 +1,9 @@
-// Plain-text table rendering for bench harness output.
+// Plain-text table and CSV rendering for bench/report output.
 //
 // Every figure-reproduction bench prints its rows through TextTable so the
 // output is aligned and diffable; EXPERIMENTS.md quotes these tables.
+// CsvWriter is the one CSV emitter shared by report.cpp's history export
+// and the metrics registry, so quoting and formatting stay consistent.
 #pragma once
 
 #include <string>
@@ -26,6 +28,24 @@ public:
 private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;
+};
+
+/// RFC-4180-style CSV accumulation: cells containing commas, quotes, or
+/// newlines are double-quoted with embedded quotes doubled; rows end in
+/// '\n'.  Used by report.cpp (history_csv) and MetricsRegistry::csv().
+class CsvWriter {
+public:
+    /// Append one row (the first row is conventionally the header).
+    void row(const std::vector<std::string>& cells);
+
+    const std::string& str() const { return out_; }
+
+    /// Quote one cell per RFC 4180 (returned unchanged when no quoting is
+    /// needed).
+    static std::string escape(const std::string& cell);
+
+private:
+    std::string out_;
 };
 
 /// Format a double with `prec` digits after the decimal point.

@@ -1,0 +1,186 @@
+// Integration: the observability layer watching a real adaptation.  A
+// scripted load spike drives Monitor -> Grace -> redistribute -> PostGrace,
+// and the trace must show that story in order, byte-identically across two
+// runs of the same scenario.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dynmpi/runtime.hpp"
+#include "mpisim/machine.hpp"
+#include "mpisim/rank.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace dynmpi {
+namespace {
+
+sim::ClusterConfig cfg(int nodes) {
+    sim::ClusterConfig c;
+    c.num_nodes = nodes;
+    c.cpu.jitter_frac = 0.0;
+    c.ps_period = sim::from_seconds(0.25);
+    return c;
+}
+
+/// One scripted scenario: 4 nodes, a competing process lands on node 1 at
+/// t = 0.5 s and stays.  Returns the JSONL trace; the registries are left
+/// enabled for the caller to inspect and must be cleaned up via Observed.
+std::string run_traced(int cycles) {
+    support::trace().enable();
+    support::metrics().reset();
+    support::metrics().enable();
+
+    msg::Machine m(cfg(4));
+    m.cluster().add_load_interval(1, 0.5, -1.0, 2);
+    m.run([&](msg::Rank& r) {
+        RuntimeOptions o;
+        o.calibrate = false;
+        o.enable_removal = false;
+        Runtime rt(r, 48, o);
+        rt.register_dense("A", 4, sizeof(double));
+        int ph = rt.init_phase(0, 48, PhaseComm{CommPattern::None, 0});
+        rt.add_array_access("A", AccessMode::Write, ph);
+        rt.commit_setup();
+        for (int c = 0; c < cycles; ++c) {
+            rt.begin_cycle();
+            if (rt.participating())
+                rt.run_phase(ph, std::vector<double>(
+                                     static_cast<std::size_t>(
+                                         rt.my_iters(ph).count()),
+                                     5e-3));
+            rt.end_cycle();
+        }
+    });
+    return support::trace().jsonl();
+}
+
+/// RAII guard: the trace sink and metrics registry are process-global, so
+/// every test must leave them disabled and empty for the rest of the suite.
+struct Observed {
+    ~Observed() {
+        support::trace().disable();
+        support::trace().clear();
+        support::metrics().disable();
+        support::metrics().reset();
+    }
+};
+
+int first_index(const std::vector<support::TraceEvent>& evs,
+                const std::string& name, int rank) {
+    for (std::size_t i = 0; i < evs.size(); ++i)
+        if (evs[i].name == name && evs[i].rank == rank)
+            return static_cast<int>(i);
+    return -1;
+}
+
+TEST(TraceRuntime, AdaptationStoryInOrder) {
+    Observed guard;
+    run_traced(60);
+    auto evs = support::trace().sorted_events();
+    ASSERT_FALSE(evs.empty());
+
+    int load_change = first_index(evs, "runtime.load_change", 0);
+    int grace_enter = first_index(evs, "runtime.grace_enter", 0);
+    int decision = first_index(evs, "balancer.decision", 0);
+    int redistributed = first_index(evs, "runtime.redistributed", 0);
+    int redist_apply = first_index(evs, "redist.apply", 0);
+    int post_enter = first_index(evs, "runtime.post_grace_enter", 0);
+    int post_exit = first_index(evs, "runtime.post_grace_exit", 0);
+
+    ASSERT_GE(load_change, 0);
+    ASSERT_GE(grace_enter, 0);
+    ASSERT_GE(decision, 0);
+    ASSERT_GE(redistributed, 0);
+    ASSERT_GE(redist_apply, 0);
+    ASSERT_GE(post_enter, 0);
+    ASSERT_GE(post_exit, 0);
+
+    EXPECT_LT(load_change, grace_enter);
+    EXPECT_LT(grace_enter, decision);
+    EXPECT_LT(decision, redistributed);
+    EXPECT_LT(redistributed, post_enter);
+    EXPECT_LT(post_enter, post_exit);
+
+    // The redistribution phases appear on rank 0 too.
+    EXPECT_GE(first_index(evs, "redist.pack", 0), 0);
+    EXPECT_GE(first_index(evs, "redist.unpack", 0), 0);
+
+    // Per-cycle spans cover every cycle of every rank; the machine summary
+    // event closes the trace at rank -1.
+    int cycles_seen = 0;
+    for (const auto& e : evs)
+        if (e.name == "runtime.cycle" && e.rank == 0) ++cycles_seen;
+    EXPECT_EQ(cycles_seen, 60);
+    EXPECT_GE(first_index(evs, "machine.run_end", -1), 0);
+}
+
+TEST(TraceRuntime, ByteIdenticalAcrossRuns) {
+    Observed guard;
+    std::string a = run_traced(60);
+    std::string b = run_traced(60);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(TraceRuntime, MetricsMatchTheTrace) {
+    Observed guard;
+    run_traced(60);
+    auto& mx = support::metrics();
+
+    // Run-level metrics are rank-0-gated.
+    EXPECT_EQ(mx.counter("runtime.cycles").value(), 60u);
+    EXPECT_GE(mx.counter("runtime.load_changes").value(), 1u);
+    EXPECT_GE(mx.counter("runtime.redistributions").value(), 1u);
+    EXPECT_EQ(mx.histogram("runtime.cycle_wall_s").count(), 60u);
+
+    // Cluster-wide transfer totals aggregate over all ranks.
+    EXPECT_GT(mx.counter("redist.rows_moved").value(), 0u);
+    EXPECT_GT(mx.counter("redist.bytes").value(), 0u);
+    EXPECT_GT(mx.counter("balancer.calls").value(), 0u);
+
+    // Machine/engine summary instruments.
+    EXPECT_EQ(mx.counter("machine.runs").value(), 1u);
+    EXPECT_GT(mx.counter("sim.events_fired").value(), 0u);
+    EXPECT_GT(mx.gauge("machine.elapsed_s").value(), 0.0);
+    EXPECT_GT(mx.gauge("sim.peak_pending_events").value(), 0.0);
+
+    // Snapshots of the same registry are deterministic.
+    EXPECT_EQ(mx.snapshot_json(), mx.snapshot_json());
+}
+
+TEST(TraceRuntime, QuietRunStaysQuiet) {
+    Observed guard;
+    support::trace().enable();
+    msg::Machine m(cfg(2));
+    m.run([&](msg::Rank& r) {
+        RuntimeOptions o;
+        o.calibrate = false;
+        Runtime rt(r, 16, o);
+        rt.register_dense("A", 2, sizeof(double));
+        int ph = rt.init_phase(0, 16, PhaseComm{CommPattern::None, 0});
+        rt.add_array_access("A", AccessMode::Write, ph);
+        rt.commit_setup();
+        for (int c = 0; c < 10; ++c) {
+            rt.begin_cycle();
+            if (rt.participating())
+                rt.run_phase(ph, std::vector<double>(
+                                     static_cast<std::size_t>(
+                                         rt.my_iters(ph).count()),
+                                     1e-3));
+            rt.end_cycle();
+        }
+    });
+    auto evs = support::trace().sorted_events();
+    for (const auto& e : evs) {
+        EXPECT_NE(e.name, "runtime.grace_enter");
+        EXPECT_NE(e.name, "runtime.redistributed");
+        EXPECT_NE(e.name, "redist.apply");
+    }
+    // Cycle spans still cover the run.
+    EXPECT_GE(first_index(evs, "runtime.cycle", 0), 0);
+}
+
+}  // namespace
+}  // namespace dynmpi

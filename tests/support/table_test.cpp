@@ -46,5 +46,32 @@ TEST(Pct, FormatsRatioAsPercent) {
     EXPECT_EQ(pct(1.0, 0), "100%");
 }
 
+
+TEST(CsvWriter, PlainRowsJoinWithCommas) {
+    CsvWriter w;
+    w.row({"a", "b", "c"});
+    w.row({"1", "2", "3"});
+    EXPECT_EQ(w.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(CsvWriter, QuotesPerRfc4180) {
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, RowAppliesQuoting) {
+    CsvWriter w;
+    w.row({"x,y", "z"});
+    EXPECT_EQ(w.str(), "\"x,y\",z\n");
+}
+
+TEST(CsvWriter, EmptyCellsStayEmpty) {
+    CsvWriter w;
+    w.row({"", "", "v"});
+    EXPECT_EQ(w.str(), ",,v\n");
+}
+
 }  // namespace
 }  // namespace dynmpi
