@@ -12,14 +12,20 @@
 //   --trace out.jsonl    write the structured event trace as JSONL
 //   --chrome out.json    write a chrome://tracing / Perfetto trace
 //   --metrics out.json   write the metrics registry snapshot
+//
+// Fault injection (docs/FAULTS.md):
+//   --faults script.txt  run a fault script against the cluster, e.g.
+//                        "crash node=3 t=1.5" or "drop-reports node=1 t=1 dur=2"
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
 #include "dynmpi/dmpi_c_api.hpp"
 #include "mpisim/machine.hpp"
 #include "mpisim/rank.hpp"
+#include "sim/fault_plan.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 
@@ -69,12 +75,18 @@ void spmd_main(msg::Rank& rank) {
                                       kRowCost));
 
             int rel_rank = DMPI_get_rel_rank();
-            if (rel_rank > 0)
-                DMPI_Send(rel_rank - 1, 1, B.row_data(start_iter),
-                          8 * sizeof(double));
-            if (rel_rank < DMPI_get_num_active() - 1) {
-                std::vector<double> ghost(8);
-                DMPI_Recv(rel_rank + 1, 1, ghost.data(), 8 * sizeof(double));
+            try {
+                if (rel_rank > 0)
+                    DMPI_Send(rel_rank - 1, 1, B.row_data(start_iter),
+                              8 * sizeof(double));
+                if (rel_rank < DMPI_get_num_active() - 1) {
+                    std::vector<double> ghost(8);
+                    DMPI_Recv(rel_rank + 1, 1, ghost.data(),
+                              8 * sizeof(double));
+                }
+            } catch (const msg::PeerFailure&) {
+                // --faults can crash a neighbor mid-cycle; skip the exchange
+                // and let the next end_cycle repair the membership.
             }
         }
         DMPI_end_cycle();
@@ -100,7 +112,7 @@ void spmd_main(msg::Rank& rank) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    std::string trace_path, chrome_path, metrics_path;
+    std::string trace_path, chrome_path, metrics_path, faults_path;
     for (int i = 1; i < argc; ++i) {
         auto want_value = [&](const char* flag) {
             if (std::strcmp(argv[i], flag) != 0) return false;
@@ -113,10 +125,12 @@ int main(int argc, char** argv) {
         if (want_value("--trace")) trace_path = argv[++i];
         else if (want_value("--chrome")) chrome_path = argv[++i];
         else if (want_value("--metrics")) metrics_path = argv[++i];
+        else if (want_value("--faults")) faults_path = argv[++i];
         else {
             std::fprintf(stderr,
                          "usage: quickstart [--trace f.jsonl] "
-                         "[--chrome f.json] [--metrics f.json]\n");
+                         "[--chrome f.json] [--metrics f.json] "
+                         "[--faults script.txt]\n");
             return 2;
         }
     }
@@ -132,6 +146,19 @@ int main(int argc, char** argv) {
     std::printf("A competing process lands on node 2 at t=1s...\n\n");
     machine.cluster().add_load_interval(/*node=*/2, /*t_start=*/1.0,
                                         /*t_end=*/-1.0);
+
+    if (!faults_path.empty()) {
+        try {
+            sim::FaultPlan plan = sim::FaultPlan::load(faults_path);
+            plan.validate(config.num_nodes);
+            std::printf("fault script (%zu faults):\n%s\n",
+                        plan.faults.size(), plan.to_string().c_str());
+            machine.cluster().install_faults(std::move(plan));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "--faults: %s\n", e.what());
+            return 2;
+        }
+    }
 
     machine.run(spmd_main);
 

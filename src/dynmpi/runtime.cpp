@@ -24,7 +24,15 @@ Runtime::Runtime(msg::Rank& rank, int global_rows, RuntimeOptions opts)
     DYNMPI_REQUIRE(global_rows_ > 0, "need at least one row");
     DYNMPI_REQUIRE(opts_.grace_cycles > 0 && opts_.post_grace_cycles > 0,
                    "grace periods must be positive");
+    DYNMPI_REQUIRE(opts_.report_staleness_s > 0.0,
+                   "staleness window must be positive");
+    DYNMPI_REQUIRE(opts_.quarantine_bad_reports > 0 &&
+                       opts_.readmit_clean_cycles > 0,
+                   "quarantine thresholds must be positive");
     opts_.timing.grace_cycles = opts_.grace_cycles;
+    bad_streak_.assign(static_cast<std::size_t>(world_.size()), 0);
+    clean_streak_.assign(static_cast<std::size_t>(world_.size()), 0);
+    quarantined_.assign(static_cast<std::size_t>(world_.size()), 0);
     dist_ = opts_.initial_dist == Distribution::Kind::Block
                 ? Distribution::even_block(0, global_rows_, world_.size())
                 : Distribution::cyclic(0, global_rows_, world_.size(),
@@ -56,6 +64,9 @@ const char* adaptation_trace_name(AdaptationEvent::Kind k) {
     case AdaptationEvent::Kind::Dropped: return "runtime.dropped";
     case AdaptationEvent::Kind::LogicalDrop: return "runtime.logical_drop";
     case AdaptationEvent::Kind::Readded: return "runtime.readded";
+    case AdaptationEvent::Kind::NodeCrash: return "runtime.node_crash";
+    case AdaptationEvent::Kind::Quarantine: return "runtime.quarantine";
+    case AdaptationEvent::Kind::Readmit: return "runtime.readmit";
     }
     return "runtime.event";
 }
@@ -71,6 +82,9 @@ const char* adaptation_counter_name(AdaptationEvent::Kind k) {
     case AdaptationEvent::Kind::Dropped: return "runtime.drops.physical";
     case AdaptationEvent::Kind::LogicalDrop: return "runtime.drops.logical";
     case AdaptationEvent::Kind::Readded: return "runtime.readds";
+    case AdaptationEvent::Kind::NodeCrash: return "runtime.crashes";
+    case AdaptationEvent::Kind::Quarantine: return "runtime.quarantines";
+    case AdaptationEvent::Kind::Readmit: return "runtime.readmits";
     }
     return "runtime.events";
 }
@@ -248,6 +262,169 @@ double Runtime::node_speed() const {
     return rank_.node().cpu().params().speed;
 }
 
+// ---------------------------------------------------------------------------
+// Failure recovery
+// ---------------------------------------------------------------------------
+
+msg::Group Runtime::protocol_group() const {
+    return msg::Group(active_.members(), rank_.machine().revoke_epoch());
+}
+
+RowSet Runtime::take_recovered_rows() {
+    RowSet r = std::move(recovered_rows_);
+    recovered_rows_ = RowSet{};
+    return r;
+}
+
+bool Runtime::report_stale(int w) const {
+    const sim::PsDaemon& d = rank_.machine().cluster().daemon(w);
+    if (d.last_sample_time() < 0) return false; // no completed window yet
+    double age = rank_.hrtime() - sim::to_seconds(d.last_sample_time());
+    double window = std::max(opts_.report_staleness_s,
+                             2.0 * sim::to_seconds(d.period()));
+    return age > window;
+}
+
+void Runtime::leader_scan_reports() {
+    quarantine_due_ = false;
+    auto& cluster = rank_.machine().cluster();
+    for (int w : world_.members()) {
+        auto wi = static_cast<std::size_t>(w);
+        if (cluster.node_crashed(w)) continue;
+        if (report_stale(w)) {
+            clean_streak_[wi] = 0;
+            ++bad_streak_[wi];
+            ++stats_.stale_fallbacks;
+            if (support::trace().enabled()) {
+                double age = rank_.hrtime() -
+                             sim::to_seconds(
+                                 cluster.daemon(w).last_sample_time());
+                support::trace().instant(rank_.hrtime(), rank_.id(),
+                                         "runtime.stale_report",
+                                         {targ("cycle", stats_.cycles),
+                                          targ("node", w),
+                                          targ("age_s", age)});
+            }
+        } else {
+            bad_streak_[wi] = 0;
+            ++clean_streak_[wi];
+        }
+        bool q = quarantined_[wi] != 0;
+        if (!q && bad_streak_[wi] >= opts_.quarantine_bad_reports)
+            quarantine_due_ = true;
+        if (q && clean_streak_[wi] >= opts_.readmit_clean_cycles)
+            quarantine_due_ = true;
+    }
+}
+
+bool Runtime::repair_active_set() {
+    auto& cluster = rank_.machine().cluster();
+    std::vector<int> dead, survivors;
+    for (int m : active_.members())
+        (cluster.node_crashed(m) ? dead : survivors).push_back(m);
+    if (dead.empty()) return false;
+    DYNMPI_REQUIRE(!survivors.empty(), "every active node crashed");
+
+    if (!participating()) {
+        // Removed nodes only track membership; they own no rows.
+        active_ = msg::Group(std::move(survivors));
+        return true;
+    }
+
+    // Checkpointless row recovery: each dead member's block is left-merged
+    // into its nearest surviving predecessor (the first survivor absorbs any
+    // dead prefix).  No data moves between survivors; adopted rows are
+    // zero-filled and handed to the application via take_recovered_rows().
+    std::vector<int> old_counts = dist_.counts();
+    std::vector<int> new_counts;
+    int carry = 0;
+    for (int j = 0; j < active_.size(); ++j) {
+        int c = old_counts[static_cast<std::size_t>(j)];
+        if (cluster.node_crashed(active_.member(j))) {
+            if (!new_counts.empty())
+                new_counts.back() += c;
+            else
+                carry += c;
+        } else {
+            new_counts.push_back(c + carry);
+            carry = 0;
+        }
+    }
+
+    msg::Group new_active(survivors);
+    Distribution new_dist = Distribution::block(0, global_rows_, new_counts);
+    RowSet adopted =
+        owned_rows(new_active, new_dist, rank_.id())
+            .subtract(owned_rows(active_, dist_, rank_.id()));
+
+    active_ = new_active;
+    dist_ = new_dist;
+    for (auto& ai : arrays_) {
+        RowSet need = needed_rows(active_, dist_, rank_.id(), ai.accesses,
+                                  global_rows_);
+        ai.array->ensure_rows(need);
+    }
+    recovered_rows_ = recovered_rows_.unite(adopted);
+    stats_.crash_repairs += static_cast<int>(dead.size());
+    for (int d : dead)
+        record_event(AdaptationEvent::Kind::NodeCrash,
+                     "node " + std::to_string(d) + " removed");
+    if (support::trace().enabled())
+        for (int d : dead)
+            support::trace().instant(rank_.hrtime(), rank_.id(),
+                                     "runtime.crash_repair",
+                                     {targ("cycle", stats_.cycles),
+                                      targ("node", d),
+                                      targ("rows_adopted", adopted.count())});
+    return true;
+}
+
+void Runtime::run_monitoring(CycleRecord& rec, double wall) {
+    // Snapshot the mode-progress state so a retried attempt replays the
+    // cycle's protocol from the same starting point.
+    const auto snap_mode = mode_;
+    const auto snap_grace = grace_count_;
+    const auto snap_post = post_count_;
+    const auto snap_post_max = post_cycle_max_;
+    const auto snap_redist = redist_seq_;
+    bool repaired = false;
+    for (int attempt = 0;; ++attempt) {
+        DYNMPI_CHECK(attempt <= 2 * world_.size() + 4,
+                     "failure recovery did not converge");
+        rank_.sync_revocations();
+        repaired = repair_active_set() || repaired;
+        if (repaired && mode_ == Mode::Grace && participating()) {
+            // A crash repair changed row ownership mid-grace: measurements
+            // taken against the old distribution no longer align with
+            // my_iters, so restart the grace window for the new ownership.
+            // (Re-applied after every retry's snapshot restore so all
+            // attempts — and all surviving ranks — see the same state.)
+            grace_count_ = 0;
+            for (std::size_t ph = 0; ph < phases_.size(); ++ph)
+                phases_[ph].timer.start(
+                    my_iters(static_cast<int>(ph)).count());
+        }
+        try {
+            if (participating())
+                active_cycle_monitor(rec, wall);
+            else
+                removed_cycle_follow();
+            return;
+        } catch (const msg::PeerFailure&) {
+            // A peer died mid-round: revoke so every rank stranded in the
+            // abandoned round wakes up, then retry on the new epoch.
+            rank_.revoke_control();
+        } catch (const msg::EpochRevoked&) {
+            // Someone else started a new epoch; just retry on it.
+        }
+        mode_ = snap_mode;
+        grace_count_ = snap_grace;
+        post_count_ = snap_post;
+        post_cycle_max_ = snap_post_max;
+        redist_seq_ = snap_redist;
+    }
+}
+
 std::vector<int> Runtime::row_caps_for(const std::vector<int>& members) const {
     std::vector<int> caps(members.size(), 0);
     if (!opts_.memory_aware) return caps;
@@ -325,29 +502,68 @@ double allreduce_sendout(msg::Rank& rank, const msg::Group& world,
 }  // namespace
 
 double Runtime::allreduce_active(double value, msg::OpSum op) {
+    rank_.sync_revocations();
     return allreduce_sendout(rank_, world_, active_, value, op,
                              sendout_seq_++);
 }
 
 double Runtime::allreduce_active(double value, msg::OpMax op) {
+    rank_.sync_revocations();
     return allreduce_sendout(rank_, world_, active_, value, op,
                              sendout_seq_++);
 }
 
-std::vector<double> Runtime::read_world_loads() {
+std::vector<double> Runtime::read_world_loads(const msg::Group& pg) {
     // Relative rank 0 is the single reader of the daemon mesh (a consistent
-    // snapshot); the view is broadcast within the active group.
-    std::vector<double> loads;
+    // snapshot); the view — loads plus quarantine flags — is broadcast
+    // within the protocol group.
+    std::vector<double> blob;
     if (rel_rank() == 0) {
-        loads.reserve(static_cast<std::size_t>(world_.size()));
+        auto& cluster = rank_.machine().cluster();
+        blob.reserve(2 * static_cast<std::size_t>(world_.size()));
+        for (int w : world_.members()) {
+            auto wi = static_cast<std::size_t>(w);
+            // Crashed or stale-reporting nodes fall back to the last load
+            // the current distribution was computed for.
+            if (cluster.node_crashed(w) || report_stale(w))
+                blob.push_back(baseline_loads_[wi]);
+            else
+                blob.push_back(cluster.daemon(w).avg_competing());
+        }
+        // Apply quarantine transitions at the decision point, so every rank
+        // that acts on this snapshot also learns the resulting flags.
+        for (int w : world_.members()) {
+            auto wi = static_cast<std::size_t>(w);
+            if (cluster.node_crashed(w)) continue;
+            if (quarantined_[wi] == 0 &&
+                bad_streak_[wi] >= opts_.quarantine_bad_reports) {
+                quarantined_[wi] = 1;
+                ++stats_.quarantines;
+                record_event(AdaptationEvent::Kind::Quarantine,
+                             "node " + std::to_string(w) + " after " +
+                                 std::to_string(bad_streak_[wi]) +
+                                 " bad reports");
+            } else if (quarantined_[wi] != 0 &&
+                       clean_streak_[wi] >= opts_.readmit_clean_cycles) {
+                quarantined_[wi] = 0;
+                ++stats_.quarantine_readmits;
+                record_event(AdaptationEvent::Kind::Readmit,
+                             "node " + std::to_string(w) + " after " +
+                                 std::to_string(clean_streak_[wi]) +
+                                 " clean reports");
+            }
+        }
         for (int w : world_.members())
-            loads.push_back(
-                rank_.machine().cluster().daemon(w).avg_competing());
+            blob.push_back(
+                quarantined_[static_cast<std::size_t>(w)] != 0 ? 1.0 : 0.0);
     }
-    msg::bcast(rank_, active_, 0, loads);
-    DYNMPI_CHECK(static_cast<int>(loads.size()) == world_.size(),
+    msg::bcast(rank_, pg, 0, blob);
+    DYNMPI_CHECK(static_cast<int>(blob.size()) == 2 * world_.size(),
                  "bad load snapshot");
-    return loads;
+    for (int w = 0; w < world_.size(); ++w)
+        quarantined_[static_cast<std::size_t>(w)] =
+            blob[static_cast<std::size_t>(world_.size() + w)] != 0.0 ? 1 : 0;
+    return std::vector<double>(blob.begin(), blob.begin() + world_.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -441,7 +657,7 @@ void Runtime::apply_distribution(const msg::Group& new_active,
 }
 
 Runtime::GraceDecision Runtime::compute_grace_decision(
-    const std::vector<double>& world_loads) {
+    const std::vector<double>& world_loads, const msg::Group& pg) {
     // Assemble my per-row unloaded cost estimates across phases, aligned to
     // my owned rows in ascending order.
     RowSet owned = participating() ? dist_.iters_of(rel_rank()) : RowSet{};
@@ -464,7 +680,7 @@ Runtime::GraceDecision Runtime::compute_grace_decision(
     // Active-group exchange: every active rank assembles the identical
     // global cost vector (removed nodes own no rows and are synced through
     // the status channel).
-    auto per_rank_costs = msg::allgather(rank_, active_, mine);
+    auto per_rank_costs = msg::allgather(rank_, pg, mine);
     row_costs_.assign(static_cast<std::size_t>(global_rows_), 0.0);
     for (int a = 0; a < active_.size(); ++a) {
         RowSet rows = owned_rows(active_, dist_, active_.member(a));
@@ -477,12 +693,20 @@ Runtime::GraceDecision Runtime::compute_grace_decision(
     }
 
     // Candidate set: currently active nodes plus any unloaded node that can
-    // be added back (paper: nodes return when conditions change).
+    // be added back (paper: nodes return when conditions change).  Crashed
+    // nodes never come back; quarantined nodes sit out until readmitted.
+    auto& cluster = rank_.machine().cluster();
     std::vector<int> candidates;
-    for (int w : world_.members())
+    for (int w : world_.members()) {
+        auto wi = static_cast<std::size_t>(w);
+        if (cluster.node_crashed(w) || quarantined_[wi] != 0) continue;
         if (active_.contains(w) ||
-            world_loads[static_cast<std::size_t>(w)] <= opts_.load_change_eps)
+            world_loads[wi] <= opts_.load_change_eps)
             candidates.push_back(w);
+    }
+    // Degenerate case: every candidate is quarantined.  Keep the current
+    // survivors rather than dissolving the computation.
+    if (candidates.empty()) candidates = active_.members();
     msg::Group new_active(candidates);
 
     BalanceInput in;
@@ -661,8 +885,14 @@ constexpr double kStatusReadd = 1.0;
 void Runtime::send_statuses(const msg::Group& active_before,
                             const GraceDecision* decision) {
     if (active_before.index_of(rank_.id()) != 0) return;
+    // A retried recovery attempt must not re-send: the first copy was
+    // already delivered (sends never block), and followers recv exactly one
+    // status per cycle.
+    if (statuses_sent_this_cycle_) return;
+    statuses_sent_this_cycle_ = true;
     for (int w : world_.members()) {
         if (active_before.contains(w)) continue;
+        if (rank_.machine().cluster().node_crashed(w)) continue;
         std::vector<double> msg;
         if (decision && decision->material && decision->new_active.contains(w)) {
             // Re-add instruction: full state so the returning node can join
@@ -680,6 +910,10 @@ void Runtime::send_statuses(const msg::Group& active_before,
             msg.push_back(static_cast<double>(redist_seq_));
             for (double c : row_costs_) msg.push_back(c);
             for (double l : decision->loads) msg.push_back(l);
+            for (int m : world_.members())
+                msg.push_back(
+                    quarantined_[static_cast<std::size_t>(m)] != 0 ? 1.0
+                                                                   : 0.0);
         } else {
             msg.push_back(kStatusSteady);
             const msg::Group& now =
@@ -727,6 +961,8 @@ void Runtime::removed_cycle_follow() {
     baseline_loads_.assign(static_cast<std::size_t>(world_.size()), 0.0);
     for (int i = 0; i < world_.size(); ++i)
         baseline_loads_[static_cast<std::size_t>(i)] = next();
+    for (int i = 0; i < world_.size(); ++i)
+        quarantined_[static_cast<std::size_t>(i)] = next() != 0.0 ? 1 : 0;
 
     msg::Group old_active(std::move(old_members));
     Distribution old_dist =
@@ -767,6 +1003,10 @@ void Runtime::removed_cycle_follow() {
 
 void Runtime::active_cycle_monitor(CycleRecord& rec, double wall) {
     const msg::Group active_before = active_;
+    // Protocol rounds run on the epoch-salted group: after a crash or an
+    // explicit revocation, retried rounds use fresh tags that can never
+    // match packets from an abandoned round.
+    const msg::Group pg = protocol_group();
     const int me = rank_.id();
 
     // Load-change detection: each active node contributes its own dmpi_ps
@@ -775,16 +1015,23 @@ void Runtime::active_cycle_monitor(CycleRecord& rec, double wall) {
     double delta =
         std::fabs(my_load() - baseline_loads_[static_cast<std::size_t>(me)]);
     if (rel_rank() == 0) {
-        for (int w : world_.members())
-            if (!active_.contains(w))
-                delta = std::max(
-                    delta,
-                    std::fabs(
-                        rank_.machine().cluster().daemon(w).avg_competing() -
-                        baseline_loads_[static_cast<std::size_t>(w)]));
+        leader_scan_reports();
+        for (int w : world_.members()) {
+            if (active_.contains(w)) continue;
+            if (rank_.machine().cluster().node_crashed(w)) continue;
+            delta = std::max(
+                delta,
+                std::fabs(
+                    rank_.machine().cluster().daemon(w).avg_competing() -
+                    baseline_loads_[static_cast<std::size_t>(w)]));
+        }
+        // A pending quarantine or readmit must force an adaptation round
+        // even when no load moved: it changes the candidate set.
+        if (quarantine_due_)
+            delta = std::max(delta, opts_.load_change_eps + 1.0);
     }
     std::vector<double> agg{delta, wall};
-    agg = msg::allreduce(rank_, active_, std::move(agg), msg::OpMax{});
+    agg = msg::allreduce(rank_, pg, std::move(agg), msg::OpMax{});
     rec.max_wall_s = agg[1];
     bool load_changed = agg[0] > opts_.load_change_eps;
 
@@ -805,8 +1052,8 @@ void Runtime::active_cycle_monitor(CycleRecord& rec, double wall) {
     case Mode::Grace:
         ++grace_count_;
         if (grace_count_ >= opts_.grace_cycles) {
-            std::vector<double> loads = read_world_loads();
-            decision = compute_grace_decision(loads);
+            std::vector<double> loads = read_world_loads(pg);
+            decision = compute_grace_decision(loads, pg);
             decision_ptr = &decision;
             if (decision.new_active.size() > active_.size())
                 stats_.readds += decision.new_active.size() - active_.size();
@@ -841,7 +1088,7 @@ void Runtime::active_cycle_monitor(CycleRecord& rec, double wall) {
         post_cycle_max_.push_back(agg[1]);
         ++post_count_;
         if (post_count_ >= opts_.post_grace_cycles)
-            finish_post_grace(read_world_loads());
+            finish_post_grace(read_world_loads(pg));
         break;
     }
     if (!decision_ptr) send_statuses(active_before, nullptr);
@@ -864,10 +1111,8 @@ void Runtime::end_cycle() {
         // Everything below is daemon-band coordination, not app traffic.
         msg::Rank::ControlScope control(rank_);
         int redist_before = stats_.redistributions;
-        if (participating())
-            active_cycle_monitor(rec, wall);
-        else
-            removed_cycle_follow();
+        statuses_sent_this_cycle_ = false;
+        run_monitoring(rec, wall);
         rec.redistributed = stats_.redistributions != redist_before;
     }
 

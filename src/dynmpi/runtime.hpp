@@ -79,6 +79,16 @@ struct RuntimeOptions {
     /// compute), so turning this off makes the cost visible.
     bool memory_aware = true;
     double paging_slowdown = 4.0;
+    // ---- runtime hardening (fault tolerance; see docs/FAULTS.md) ----
+    /// Load reports older than this fall back to the last-known value.  The
+    /// effective window is max(this, 2 x the dmpi_ps period), so slow
+    /// daemons are not misread as faulty ones.
+    double report_staleness_s = 3.0;
+    /// Consecutive stale/bad reports before a node is quarantined (logically
+    /// dropped from the candidate set).
+    int quarantine_bad_reports = 3;
+    /// Consecutive clean reports before a quarantined node may be readmitted.
+    int readmit_clean_cycles = 8;
 };
 
 /// What happened in one phase cycle (for benches and tests).
@@ -100,6 +110,9 @@ struct AdaptationEvent {
         Dropped,      ///< loaded node(s) physically removed
         LogicalDrop,  ///< loaded node(s) reduced to the minimum assignment
         Readded,      ///< this node rejoined the active set
+        NodeCrash,    ///< a node crashed; its rows were recovered
+        Quarantine,   ///< a node's reports went bad; excluded from balancing
+        Readmit,      ///< a quarantined node's reports recovered
     };
     Kind kind = Kind::LoadChange;
     int cycle = 0;
@@ -113,6 +126,10 @@ struct RuntimeStats {
     int physical_drops = 0;
     int logical_drops = 0;
     int readds = 0;
+    int crash_repairs = 0;      ///< crashed nodes removed with row recovery
+    int quarantines = 0;        ///< nodes quarantined for bad reports
+    int quarantine_readmits = 0;
+    int stale_fallbacks = 0;    ///< stale-report observations (leader only)
     double redist_wall_s = 0.0; ///< total time spent inside redistributions
     std::vector<CycleRecord> history;
     std::vector<AdaptationEvent> events;
@@ -186,6 +203,14 @@ public:
     double allreduce_active(double value, msg::OpSum op);
     double allreduce_active(double value, msg::OpMax op);
 
+    // ---- failure recovery ----
+
+    /// Rows this node adopted through crash recovery since the last call
+    /// (left-merged from dead neighbours, zero-filled).  The application
+    /// must re-initialize them — the runtime is checkpointless, so a dead
+    /// node's in-flight row contents are lost by design.
+    RowSet take_recovered_rows();
+
     // ---- introspection ----
 
     const Distribution& distribution() const { return dist_; }
@@ -221,12 +246,39 @@ private:
     double my_load() const;       ///< dmpi_ps average competing
     double node_speed() const;
 
+    // ---- failure recovery internals ----
+
+    /// Salt for protocol groups: changes whenever a crash or an explicit
+    /// revocation starts a new recovery epoch, so retried rounds can never
+    /// match messages from abandoned ones.  0 (hash-neutral) until the
+    /// first fault.
+    msg::Group protocol_group() const;
+
+    /// Whether node w's dmpi_ps report is older than the staleness window.
+    bool report_stale(int w) const;
+
+    /// Leader-only, once per cycle: update per-node bad/clean report
+    /// streaks and decide whether quarantine state wants an adaptation.
+    void leader_scan_reports();
+
+    /// Drop crashed members from the active set, left-merging their row
+    /// blocks into surviving predecessors (zero data movement).  Adopted
+    /// rows are recorded in recovered_rows_.  Returns true if anything
+    /// changed.
+    bool repair_active_set();
+
+    /// Monitoring dispatch with failure recovery: retries the cycle's
+    /// control protocol on an epoch-salted group until it completes without
+    /// a peer failure or revocation.
+    void run_monitoring(CycleRecord& rec, double wall);
+
     // ---- monitoring internals (all control-plane traffic) ----
 
     /// One consistent view of every node's dmpi_ps average: relative rank 0
     /// reads all daemons (single reader → no divergence) and broadcasts
-    /// within the active group.
-    std::vector<double> read_world_loads();
+    /// within the given protocol group, together with quarantine flags.
+    /// Stale and crashed nodes fall back to their last-known load.
+    std::vector<double> read_world_loads(const msg::Group& pg);
 
     /// Outcome of a grace period, computed identically on all active nodes.
     struct GraceDecision {
@@ -235,7 +287,8 @@ private:
         std::vector<int> counts;
         std::vector<double> loads;
     };
-    GraceDecision compute_grace_decision(const std::vector<double>& loads);
+    GraceDecision compute_grace_decision(const std::vector<double>& loads,
+                                         const msg::Group& pg);
 
     /// Per-cycle status messages from relative rank 0 to every removed node
     /// (steady heartbeat, or a re-add instruction carrying full state).
@@ -281,6 +334,14 @@ private:
     bool in_cycle_ = false;
     std::uint64_t redist_seq_ = 0;
     std::uint64_t sendout_seq_ = 0;
+
+    // ---- hardening state ----
+    RowSet recovered_rows_;        ///< crash-adopted rows awaiting the app
+    std::vector<int> bad_streak_;  ///< per world rank (leader maintained)
+    std::vector<int> clean_streak_;
+    std::vector<char> quarantined_; ///< per world rank, bcast with loads
+    bool quarantine_due_ = false;   ///< leader: transitions want a grace
+    bool statuses_sent_this_cycle_ = false;
 
     RuntimeStats stats_;
 };

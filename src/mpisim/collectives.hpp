@@ -26,11 +26,17 @@ namespace dynmpi::msg {
 class Group {
 public:
     Group() = default;
-    explicit Group(std::vector<int> members) : members_(std::move(members)) {
+    /// `salt` perturbs the group hash (and therefore every collective tag
+    /// drawn from it) without changing membership — failure recovery uses a
+    /// crash-epoch salt so retried protocol rounds cannot match stragglers
+    /// from an abandoned round.  salt 0 leaves the hash unchanged.
+    explicit Group(std::vector<int> members, std::uint64_t salt = 0)
+        : members_(std::move(members)) {
         DYNMPI_REQUIRE(!members_.empty(), "group must be non-empty");
         std::uint64_t h = splitmix64(members_.size());
         for (int m : members_)
             h = hash_combine(h, static_cast<std::uint64_t>(m));
+        if (salt != 0) h = hash_combine(h, splitmix64(salt));
         hash_ = h;
     }
 

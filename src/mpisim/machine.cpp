@@ -12,6 +12,7 @@ namespace dynmpi::msg {
 Machine::Machine(sim::ClusterConfig config) : cluster_(std::move(config)) {
     cluster_.network().set_delivery_handler(
         [this](sim::Packet&& p) { on_delivery(std::move(p)); });
+    cluster_.set_crash_handler([this](int node) { on_node_crash(node); });
 }
 
 Machine::~Machine() {
@@ -62,6 +63,8 @@ void Machine::run(std::function<void(Rank&)> fn) {
                 fn(rank);
             } catch (const MachineAborted&) {
                 // torn down deliberately; not an error of its own
+            } catch (const NodeCrashed&) {
+                // this rank's node died; the process just stops existing
             } catch (...) {
                 state(r).error = std::current_exception();
             }
@@ -100,6 +103,13 @@ void Machine::run(std::function<void(Rank&)> fn) {
         std::ostringstream os;
         os << "deadlock: event queue drained with blocked ranks:";
         for (int r : stuck) os << ' ' << r;
+        if (cluster_.crashed_count() > 0) {
+            os << " (crashed nodes:";
+            for (int i = 0; i < cluster_.size(); ++i)
+                if (cluster_.node_crashed(i)) os << ' ' << i;
+            os << " — a fault landed outside the recoverable window; see"
+                  " docs/FAULTS.md)";
+        }
         throw Error(os.str());
     }
 }
@@ -147,6 +157,11 @@ void Machine::resume_rank(int r) {
     std::unique_lock<std::mutex> lock(mu_);
     RankState& rs = state(r);
     DYNMPI_CHECK(active_rank_ == -1, "resume while another rank is active");
+    if (rs.phase == RankPhase::Done && cluster_.node_crashed(r)) {
+        // A stale wake (batch completion, matched recv) aimed at a rank
+        // whose node has since crashed and unwound.  Nothing to resume.
+        return;
+    }
     DYNMPI_CHECK(rs.phase != RankPhase::Done, "resume of finished rank");
     active_rank_ = r;
     rs.phase = RankPhase::Running;
@@ -155,14 +170,20 @@ void Machine::resume_rank(int r) {
 }
 
 void Machine::yield_from_rank(int r) {
-    std::unique_lock<std::mutex> lock(mu_);
-    RankState& rs = state(r);
-    rs.phase = RankPhase::Blocked;
-    active_rank_ = -1;
-    engine_cv_.notify_all();
-    rs.cv.wait(lock, [&] { return active_rank_ == r || aborting_; });
-    if (aborting_ && active_rank_ != r) throw MachineAborted{};
-    rs.phase = RankPhase::Running;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        RankState& rs = state(r);
+        rs.phase = RankPhase::Blocked;
+        active_rank_ = -1;
+        engine_cv_.notify_all();
+        rs.cv.wait(lock, [&] { return active_rank_ == r || aborting_; });
+        if (aborting_ && active_rank_ != r) throw MachineAborted{};
+        rs.phase = RankPhase::Running;
+    }
+    // The single crash delivery point: a crash can only land while this rank
+    // holds no baton (engine context), so checking on every wake-up is both
+    // sufficient and race-free.
+    if (cluster_.node_crashed(r)) throw NodeCrashed{};
 }
 
 void Machine::abort_blocked_ranks() {
@@ -174,6 +195,56 @@ void Machine::abort_blocked_ranks() {
         rs.cv.notify_all();
         // Each aborted rank throws MachineAborted, unwinds, and marks Done.
         engine_cv_.wait(lock, [&] { return rs.phase == RankPhase::Done; });
+    }
+}
+
+void Machine::on_node_crash(int node) {
+    // Engine context: no rank holds the baton, so rank states are quiescent.
+    if (ranks_.empty()) return; // cluster faults without a running program
+    sim::Engine& eng = cluster_.engine();
+    // Every crash starts a new revocation epoch: survivors stranded in a
+    // protocol round that still counts the dead node must abandon it, even
+    // when their current recv targets a live peer.
+    ++revoke_epoch_;
+    for (int r = 0; r < static_cast<int>(ranks_.size()); ++r) {
+        RankState& rs = state(r);
+        if (rs.phase != RankPhase::Blocked) continue;
+        if (r == node) {
+            // Wake the dying rank so it can unwind via NodeCrashed — whether
+            // it was blocked in a recv, a compute, or a sleep.
+            rs.recv_waiting = false;
+            eng.at(eng.now(), [this, r] { resume_rank(r); });
+        } else if (rs.recv_waiting &&
+                   rs.recv_space !=
+                       static_cast<std::int64_t>(TagSpace::User)) {
+            // Control-plane recv: revoke so the recovery loop retries on an
+            // epoch-salted group.
+            rs.recv_waiting = false;
+            rs.revoked = true;
+            eng.at(eng.now(), [this, r] { resume_rank(r); });
+        } else if (rs.recv_waiting && rs.recv_src == node) {
+            // A survivor waiting specifically on the dead node gets a local
+            // failure notification instead of hanging forever.
+            rs.recv_waiting = false;
+            rs.peer_failed = true;
+            rs.failed_peer = node;
+            eng.at(eng.now(), [this, r] { resume_rank(r); });
+        }
+    }
+}
+
+void Machine::revoke_control_recvs() {
+    // Rank context: the caller holds the baton, every other rank is parked.
+    ++revoke_epoch_;
+    sim::Engine& eng = cluster_.engine();
+    for (int r = 0; r < static_cast<int>(ranks_.size()); ++r) {
+        RankState& rs = state(r);
+        if (rs.phase != RankPhase::Blocked || !rs.recv_waiting) continue;
+        if (rs.recv_space == static_cast<std::int64_t>(TagSpace::User))
+            continue; // user-plane traffic is never revoked
+        rs.recv_waiting = false;
+        rs.revoked = true;
+        eng.at(eng.now(), [this, r] { resume_rank(r); });
     }
 }
 

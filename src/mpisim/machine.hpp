@@ -45,6 +45,38 @@ public:
     }
 };
 
+/// Thrown inside rank code when its *own* node crashes: the rank unwinds and
+/// its thread exits quietly, matching a process that simply stops existing.
+/// User code should not catch it.
+class NodeCrashed : public std::exception {
+public:
+    const char* what() const noexcept override { return "node crashed"; }
+};
+
+/// Thrown from a receive that targets (or is woken by the crash of) a failed
+/// peer — ULFM-style local error semantics.  Recovery code catches this,
+/// revokes in-flight control-plane traffic, and retries on an epoch-salted
+/// protocol group.
+class PeerFailure : public std::exception {
+public:
+    explicit PeerFailure(int peer) : peer_(peer) {}
+    int peer() const { return peer_; }
+    const char* what() const noexcept override { return "peer rank failed"; }
+
+private:
+    int peer_ = -1;
+};
+
+/// Thrown from non-user-tag receives posted (or pending) across a control
+/// revocation — the signal that a failure-recovery epoch has started and the
+/// current protocol round must be abandoned and retried.
+class EpochRevoked : public std::exception {
+public:
+    const char* what() const noexcept override {
+        return "control epoch revoked";
+    }
+};
+
 class Machine {
 public:
     explicit Machine(sim::ClusterConfig config);
@@ -81,6 +113,11 @@ public:
     };
     const TrafficStats& traffic() const { return traffic_; }
 
+    /// Count of control revocations so far (bumped by node crashes and by
+    /// Rank::revoke_control).  Failure-recovery protocols salt their groups
+    /// with this so abandoned rounds can never be confused with retries.
+    std::uint64_t revoke_epoch() const { return revoke_epoch_; }
+
 private:
     friend class Rank;
 
@@ -102,6 +139,12 @@ private:
         std::uint64_t recv_tag = 0;
         bool recv_any_tag = false;
         sim::Packet recv_result;
+
+        // Failure-delivery flags, set by the engine before a forced resume.
+        bool peer_failed = false; ///< woken because recv_src crashed
+        int failed_peer = -1;
+        bool revoked = false; ///< woken by revoke_control_recvs
+        std::uint64_t seen_revoke = 0; ///< last revocation epoch observed
     };
 
     // ---- engine-side ----
@@ -109,11 +152,18 @@ private:
                                        ///< metrics registry + trace sink
     void resume_rank(int r);           ///< hand the baton to rank r, wait for it back
     void on_delivery(sim::Packet&& p); ///< network upcall (engine context)
+    void on_node_crash(int node);      ///< cluster crash handler
     void abort_blocked_ranks();
 
     // ---- rank-side ----
     void yield_from_rank(int r); ///< give the baton back and wait to be resumed
     RankState& state(int r);
+
+    /// Start a new control revocation epoch: every rank blocked in a
+    /// collective- or runtime-tag receive is woken with EpochRevoked so
+    /// recovery protocols can restart on an epoch-salted group.  Called from
+    /// rank context (the caller holds the baton) by Rank::revoke_control.
+    void revoke_control_recvs();
 
     sim::Cluster cluster_;
     std::vector<std::unique_ptr<RankState>> ranks_;
@@ -125,6 +175,7 @@ private:
     bool started_ = false;
     double elapsed_ = 0.0;
     TrafficStats traffic_;
+    std::uint64_t revoke_epoch_ = 0;
 };
 
 }  // namespace dynmpi::msg

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace dynmpi::msg {
 
@@ -24,8 +26,12 @@ double Rank::proc_cpu_time() const {
 void Rank::compute(double ref_sec) {
     DYNMPI_REQUIRE(ref_sec >= 0.0, "negative compute cost");
     if (ref_sec == 0.0) return;
-    node().cpu().start_batch(ref_sec,
-                             [this] { machine_.resume_rank(id_); });
+    // Capture the machine, not the Rank: if this node crashes mid-batch the
+    // Rank object unwinds with its thread, but the stored callback may
+    // outlive it (resume_rank tolerates the stale wake).
+    Machine* m = &machine_;
+    const int r = id_;
+    node().cpu().start_batch(ref_sec, [m, r] { m->resume_rank(r); });
     machine_.yield_from_rank(id_);
 }
 
@@ -42,8 +48,12 @@ RowTimings Rank::compute_rows(const std::vector<double>& row_ref_sec) {
 
 void Rank::sleep(double sec) {
     DYNMPI_REQUIRE(sec >= 0.0, "negative sleep");
+    // Same as compute: the wake event must not dangle if this node crashes
+    // before it fires.
+    Machine* m = &machine_;
+    const int r = id_;
     machine_.cluster().engine().after(sim::from_seconds(sec),
-                                      [this] { machine_.resume_rank(id_); });
+                                      [m, r] { m->resume_rank(r); });
     machine_.yield_from_rank(id_);
 }
 
@@ -59,15 +69,31 @@ void Rank::send_wire(int dst, std::uint64_t wire_tag, const void* data,
     // competing processes on this node.  Control-plane traffic is daemon
     // work, not application work.
     if (!control_mode_) compute(net_params().cpu_cost(bytes));
-    sim::Packet p;
-    p.src = id_;
-    p.dst = dst;
-    p.tag = wire_tag;
-    p.control = control_mode_;
-    p.payload.resize(bytes);
-    if (bytes > 0)
-        std::memcpy(p.payload.data(), data, bytes);
-    machine_.cluster().network().transmit(std::move(p));
+    const int retries = std::max(0, net_params().send_retries);
+    for (int attempt = 0; ; ++attempt) {
+        sim::Packet p;
+        p.src = id_;
+        p.dst = dst;
+        p.tag = wire_tag;
+        p.control = control_mode_;
+        p.payload.resize(bytes);
+        if (bytes > 0)
+            std::memcpy(p.payload.data(), data, bytes);
+        if (machine_.cluster().network().transmit(std::move(p))) return;
+        // Transient send failure: bounded retry with exponential backoff.
+        // Retried packets are byte-identical, so a duplicate that does get
+        // through is matched (or orphaned) exactly like the original.
+        if (attempt >= retries) return; // give up; peer sees a lost message
+        if (support::trace().enabled()) {
+            using support::targ;
+            support::trace().instant(hrtime(), id_, "net.send_retry",
+                                     {targ("src", id_), targ("dst", dst),
+                                      targ("attempt", attempt + 1)});
+        }
+        if (support::metrics().enabled())
+            support::metrics().counter("net.send_retries").add(1);
+        sleep(net_params().send_backoff_s * static_cast<double>(1 << attempt));
+    }
 }
 
 void Rank::send(int dst, int tag, const void* data, std::size_t bytes) {
@@ -88,6 +114,13 @@ sim::Packet Rank::recv_packet(int src, std::uint64_t tag, bool any_tag) {
     DYNMPI_REQUIRE(src == kAnySource || (src >= 0 && src < size()),
                    "recv from invalid rank");
     auto& rs = machine_.state(id_);
+    if (tag_space(tag) != TagSpace::User &&
+        rs.seen_revoke < machine_.revoke_epoch()) {
+        // A revocation epoch started since this rank last checked: abandon
+        // the protocol round before entering a doomed control-plane recv.
+        rs.seen_revoke = machine_.revoke_epoch();
+        throw EpochRevoked{};
+    }
     for (auto it = rs.mailbox.begin(); it != rs.mailbox.end(); ++it) {
         if (packet_matches(*it, src, tag, any_tag)) {
             sim::Packet p = std::move(*it);
@@ -95,12 +128,25 @@ sim::Packet Rank::recv_packet(int src, std::uint64_t tag, bool any_tag) {
             return p;
         }
     }
+    if (src != kAnySource && machine_.cluster().node_crashed(src))
+        throw PeerFailure{src}; // would block forever: fail locally instead
     rs.recv_waiting = true;
     rs.recv_src = src;
     rs.recv_tag = tag;
     rs.recv_any_tag = any_tag;
     rs.recv_space = static_cast<std::int64_t>(tag >> 62);
     machine_.yield_from_rank(id_);
+    if (rs.revoked) {
+        rs.revoked = false;
+        rs.seen_revoke = machine_.revoke_epoch();
+        throw EpochRevoked{};
+    }
+    if (rs.peer_failed) {
+        rs.peer_failed = false;
+        int peer = rs.failed_peer;
+        rs.failed_peer = -1;
+        throw PeerFailure{peer};
+    }
     DYNMPI_CHECK(!rs.recv_waiting, "woke from recv without a message");
     return std::move(rs.recv_result);
 }
@@ -202,6 +248,15 @@ std::vector<std::byte> Rank::recv_wire(int src, std::uint64_t wire_tag) {
     sim::Packet p = recv_packet(src, wire_tag, false);
     charge_recv_cost(p.payload.size());
     return std::move(p.payload);
+}
+
+void Rank::sync_revocations() {
+    machine_.state(id_).seen_revoke = machine_.revoke_epoch();
+}
+
+void Rank::revoke_control() {
+    machine_.revoke_control_recvs();
+    sync_revocations();
 }
 
 }  // namespace dynmpi::msg

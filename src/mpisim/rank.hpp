@@ -157,6 +157,19 @@ public:
     };
     bool in_control_scope() const { return control_mode_; }
 
+    // ---- failure handling ----
+
+    /// Acknowledge all control revocations issued so far, so the *next*
+    /// control-plane receive does not throw EpochRevoked for epochs this
+    /// rank has already reacted to.  Recovery loops call this before each
+    /// retry attempt.
+    void sync_revocations();
+
+    /// Start a new control revocation epoch: wake every rank blocked in a
+    /// collective-/runtime-tag receive with EpochRevoked.  The caller is
+    /// implicitly synced to the new epoch.
+    void revoke_control();
+
     // ---- per-group collective sequence counters (see collectives.hpp) ----
     // Counters are keyed by group hash so that ranks outside a group (e.g.
     // nodes removed from the active set) do not fall out of step.

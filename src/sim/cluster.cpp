@@ -1,9 +1,12 @@
 #include "sim/cluster.hpp"
 
+#include "sim/fault_plan.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace dynmpi::sim {
+
+Cluster::~Cluster() = default;
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     DYNMPI_REQUIRE(config_.num_nodes > 0, "cluster needs at least one node");
@@ -87,6 +90,36 @@ void Cluster::add_parallel_app(const std::vector<int>& nodes, double t_start,
 
 void Cluster::at(double t, std::function<void()> fn) {
     engine_.at(from_seconds(t), std::move(fn), /*weak=*/true);
+}
+
+void Cluster::crash_node(int node_id) {
+    Node& n = node(node_id);
+    if (n.crashed()) return;
+    n.crash();
+    network_->mark_crashed(node_id);
+    if (crash_handler_) crash_handler_(node_id);
+}
+
+bool Cluster::node_crashed(int node_id) const {
+    DYNMPI_REQUIRE(node_id >= 0 && node_id < size(),
+                   "node index out of range");
+    return nodes_[static_cast<std::size_t>(node_id)]->crashed();
+}
+
+int Cluster::crashed_count() const {
+    int n = 0;
+    for (const auto& node : nodes_)
+        if (node->crashed()) ++n;
+    return n;
+}
+
+void Cluster::set_crash_handler(std::function<void(int)> handler) {
+    crash_handler_ = std::move(handler);
+}
+
+void Cluster::install_faults(const FaultPlan& plan) {
+    DYNMPI_REQUIRE(injector_ == nullptr, "fault plan already installed");
+    injector_ = std::make_unique<FaultInjector>(*this, plan);
 }
 
 }  // namespace dynmpi::sim

@@ -19,6 +19,9 @@
 
 namespace dynmpi::sim {
 
+class FaultPlan;
+class FaultInjector;
+
 struct ClusterConfig {
     int num_nodes = 4;
     std::vector<double> speeds; ///< per-node relative speed; empty → all 1.0
@@ -36,6 +39,7 @@ struct ClusterConfig {
 class Cluster {
 public:
     explicit Cluster(ClusterConfig config);
+    ~Cluster();
 
     Cluster(const Cluster&) = delete;
     Cluster& operator=(const Cluster&) = delete;
@@ -70,12 +74,32 @@ public:
     /// Run an arbitrary callback at a virtual time (bench scripting).
     void at(double t, std::function<void()> fn);
 
+    // ---- faults ----
+
+    /// Permanently halt a node: fold its load integral, stop its daemon,
+    /// and make the network discard its traffic.  Idempotent.  Fires the
+    /// crash handler (if any) so the message layer can wake blocked ranks.
+    void crash_node(int node);
+    bool node_crashed(int node) const;
+    int crashed_count() const;
+
+    /// Installed by the message layer; invoked from engine context once per
+    /// crash, after the node and network are already marked dead.
+    void set_crash_handler(std::function<void(int)> handler);
+
+    /// Arm a fault plan against this cluster (validates the plan and
+    /// schedules every fault).  The injector lives as long as the cluster.
+    void install_faults(const FaultPlan& plan);
+    const FaultInjector* faults() const { return injector_.get(); }
+
 private:
     ClusterConfig config_;
     Engine engine_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<Network> network_;
     std::vector<std::unique_ptr<PsDaemon>> daemons_;
+    std::function<void(int)> crash_handler_;
+    std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace dynmpi::sim

@@ -54,6 +54,17 @@ void Cpu::set_runnable_competitors(int n) {
     if (busy_) schedule_completion();
 }
 
+void Cpu::set_speed(double speed) {
+    DYNMPI_REQUIRE(speed > 0.0, "cpu speed must be positive");
+    if (speed == params_.speed) return;
+    advance_progress();
+    // remaining_cpu_ is denominated in cpu-seconds *at this node's speed*,
+    // so the outstanding work rescales with the speed ratio.
+    remaining_cpu_ *= params_.speed / speed;
+    params_.speed = speed;
+    if (busy_) schedule_completion();
+}
+
 double Cpu::jitter_for(int competitors, std::uint64_t salt,
                        double cpu_sec) const {
     if (competitors <= 0 || params_.jitter_frac <= 0.0 || cpu_sec <= 0.0)
@@ -97,6 +108,17 @@ void Cpu::finish_batch() {
     auto done = std::move(on_done_);
     on_done_ = nullptr;
     if (done) done();
+}
+
+void Cpu::halt() {
+    if (!busy_) return;
+    advance_progress();
+    if (completion_event_ != 0) engine_.cancel(completion_event_);
+    completion_event_ = 0;
+    busy_ = false;
+    remaining_cpu_ = 0.0;
+    on_done_ = nullptr;
+    if (app_running_cb_) app_running_cb_(false);
 }
 
 double Cpu::next_wake_delay() {

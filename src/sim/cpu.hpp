@@ -57,6 +57,11 @@ public:
     void set_runnable_competitors(int n);
     int runnable_competitors() const { return competitors_; }
 
+    /// Change the CPU's relative speed mid-run (fault injection: permanent
+    /// or windowed slowdowns).  Progress is folded at the old speed first;
+    /// an active batch has its completion rescheduled.
+    void set_speed(double speed);
+
     /// App's instantaneous CPU share if it were computing now.
     double share() const { return 1.0 / (1.0 + competitors_); }
 
@@ -67,6 +72,10 @@ public:
     void start_batch(double ref_sec, std::function<void()> on_done);
 
     bool busy() const { return busy_; }
+
+    /// Abandon any active batch without firing its completion callback (the
+    /// node crashed: the process ceases to exist, so nobody may be resumed).
+    void halt();
 
     /// Exact accumulated CPU seconds consumed by the app process.
     double app_cpu_seconds() const;

@@ -12,18 +12,49 @@ Network::Network(Engine& engine, NetParams params, int num_nodes)
     DYNMPI_REQUIRE(num_nodes > 0, "network needs at least one node");
     DYNMPI_REQUIRE(params_.bandwidth_Bps > 0.0, "bandwidth must be positive");
     nic_free_.assign(static_cast<std::size_t>(num_nodes), 0);
+    crashed_.assign(static_cast<std::size_t>(num_nodes), 0);
+    fail_tokens_.assign(static_cast<std::size_t>(num_nodes), 0);
 }
 
 void Network::set_delivery_handler(std::function<void(Packet&&)> handler) {
     deliver_ = std::move(handler);
 }
 
-void Network::transmit(Packet&& p) {
+void Network::mark_crashed(int node) {
+    DYNMPI_REQUIRE(node >= 0 && node < static_cast<int>(crashed_.size()),
+                   "bad node in mark_crashed");
+    crashed_[static_cast<std::size_t>(node)] = 1;
+}
+
+void Network::add_send_failures(int node, int count) {
+    DYNMPI_REQUIRE(node >= 0 && node < static_cast<int>(fail_tokens_.size()),
+                   "bad node in add_send_failures");
+    DYNMPI_REQUIRE(count > 0, "send-failure count must be positive");
+    fail_tokens_[static_cast<std::size_t>(node)] += count;
+}
+
+void Network::set_extra_latency(double seconds) {
+    DYNMPI_REQUIRE(seconds >= 0.0, "extra latency must be non-negative");
+    extra_latency_ = seconds;
+}
+
+bool Network::transmit(Packet&& p) {
     DYNMPI_REQUIRE(deliver_ != nullptr, "no delivery handler installed");
     DYNMPI_REQUIRE(p.src >= 0 && p.src < static_cast<int>(nic_free_.size()),
                    "bad source node");
     DYNMPI_REQUIRE(p.dst >= 0 && p.dst < static_cast<int>(nic_free_.size()),
                    "bad destination node");
+    if (crashed(p.src) || crashed(p.dst)) {
+        // A dead peer looks like an unresponsive one: the packet vanishes
+        // but the send itself "succeeds" from the caller's viewpoint.
+        ++dropped_crashed_;
+        return true;
+    }
+    if (!p.control && fail_tokens_[static_cast<std::size_t>(p.src)] > 0) {
+        --fail_tokens_[static_cast<std::size_t>(p.src)];
+        ++send_failures_;
+        return false;
+    }
     ++messages_;
     bytes_ += p.payload.size();
 
@@ -31,18 +62,28 @@ void Network::transmit(Packet&& p) {
     if (p.src == p.dst) {
         deliver_at = engine_.now() + from_seconds(params_.self_latency_s);
     } else if (p.control) {
-        deliver_at = engine_.now() + from_seconds(params_.latency_s);
+        deliver_at = engine_.now() +
+                     from_seconds(params_.latency_s + extra_latency_);
     } else {
         SimTime start = std::max(engine_.now(),
                                  nic_free_[static_cast<std::size_t>(p.src)]);
         SimTime xfer = from_seconds(static_cast<double>(p.payload.size()) /
                                     params_.bandwidth_Bps);
         nic_free_[static_cast<std::size_t>(p.src)] = start + xfer;
-        deliver_at = start + xfer + from_seconds(params_.latency_s);
+        deliver_at =
+            start + xfer + from_seconds(params_.latency_s + extra_latency_);
     }
 
     auto boxed = std::make_shared<Packet>(std::move(p));
-    engine_.at(deliver_at, [this, boxed] { deliver_(std::move(*boxed)); });
+    engine_.at(deliver_at, [this, boxed] {
+        // The destination may have crashed while the packet was in flight.
+        if (crashed(boxed->dst)) {
+            ++dropped_crashed_;
+            return;
+        }
+        deliver_(std::move(*boxed));
+    });
+    return true;
 }
 
 }  // namespace dynmpi::sim

@@ -27,6 +27,8 @@ struct NetParams {
     double cpu_per_msg_s = 5e-5;  ///< sender/receiver CPU overhead per message
     double cpu_per_byte_s = 2e-9; ///< CPU copy cost per byte on each side
     double self_latency_s = 1e-6; ///< loopback delivery latency
+    int send_retries = 4;         ///< bounded resend attempts on send failure
+    double send_backoff_s = 1e-3; ///< base backoff, doubled per attempt
 
     /// CPU seconds a host spends handling one message of `bytes` bytes.
     double cpu_cost(std::size_t bytes) const {
@@ -58,7 +60,28 @@ public:
 
     /// Inject a packet at the sender's NIC at the current virtual time.
     /// Serialization and latency are applied; delivery fires later.
-    void transmit(Packet&& p);
+    /// Returns false iff the send failed transiently (an armed fault token
+    /// was consumed) — the caller may retry.  Packets touching a crashed
+    /// node are dropped silently but "succeed": a dead peer looks exactly
+    /// like an unresponsive one to the sender.
+    bool transmit(Packet&& p);
+
+    // ---- fault hooks ----
+
+    /// Mark a node as crashed: all future traffic to or from it (including
+    /// packets already in flight toward it) is discarded.
+    void mark_crashed(int node);
+    bool crashed(int node) const {
+        return crashed_[static_cast<std::size_t>(node)] != 0;
+    }
+
+    /// Arm `count` transient failures: the next `count` data-plane sends
+    /// from `node` return false from transmit().
+    void add_send_failures(int node, int count);
+
+    /// Cluster-wide extra one-way latency (0 restores normal service).
+    void set_extra_latency(double seconds);
+    double extra_latency() const { return extra_latency_; }
 
     const NetParams& params() const { return params_; }
 
@@ -71,6 +94,8 @@ public:
 
     std::uint64_t messages_sent() const { return messages_; }
     std::uint64_t bytes_sent() const { return bytes_; }
+    std::uint64_t send_failures() const { return send_failures_; }
+    std::uint64_t dropped_crashed() const { return dropped_crashed_; }
 
 private:
     Engine& engine_;
@@ -79,6 +104,11 @@ private:
     std::function<void(Packet&&)> deliver_;
     std::uint64_t messages_ = 0;
     std::uint64_t bytes_ = 0;
+    std::vector<char> crashed_;    ///< per-node crashed flag
+    std::vector<int> fail_tokens_; ///< per-node armed transient send failures
+    double extra_latency_ = 0.0;   ///< injected cluster-wide latency spike
+    std::uint64_t send_failures_ = 0;
+    std::uint64_t dropped_crashed_ = 0;
 };
 
 }  // namespace dynmpi::sim

@@ -19,6 +19,14 @@ Node::Node(Engine& engine, int id, CpuParams cpu_params, std::uint64_t seed,
     });
 }
 
+void Node::crash() {
+    if (crashed_) return;
+    competing_integral(); // fold the load integral up to the crash instant
+    cpu_.halt(); // a pending batch completion must never resume a dead rank
+    crashed_ = true;
+    crashed_at_ = engine_.now();
+}
+
 double Node::competing_integral() const {
     integral_ +=
         active_competing_ * to_seconds(engine_.now() - integral_last_);

@@ -41,6 +41,16 @@ public:
     /// Pid of the (single) monitored application process on this node.
     int app_pid() const { return app_pid_; }
 
+    // ---- failure ----
+
+    /// Halt this node forever: the load integral is folded at the crash
+    /// instant and the crashed flag raised.  The network, daemon, and
+    /// message layer all consult crashed() to stop serving the node.
+    void crash();
+    bool crashed() const { return crashed_; }
+    /// Virtual time of the crash (valid only when crashed()).
+    SimTime crashed_at() const { return crashed_at_; }
+
     /// Physical memory available for application data (0 = unlimited).
     std::uint64_t memory_bytes() const { return memory_bytes_; }
 
@@ -86,6 +96,8 @@ private:
 
     std::unordered_map<int, CompetingState> burst_;
     int active_competing_ = 0;
+    bool crashed_ = false;
+    SimTime crashed_at_ = 0;
 
     mutable double integral_ = 0.0;
     mutable SimTime integral_last_ = 0;

@@ -12,6 +12,7 @@
 // have voluntarily relinquished the CPU (e.g. blocked at a receive).
 #pragma once
 
+#include <deque>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -51,6 +52,23 @@ public:
     /// samples (0 when nothing has been sampled yet).
     double avg_over(double window_s) const;
 
+    SimTime period() const { return period_; }
+
+    // ---- fault hooks ----
+
+    /// Silently discard new samples (the daemon still ticks, so it recovers
+    /// cleanly when the fault window closes).
+    void set_dropping(bool dropping) { dropping_ = dropping; }
+
+    /// Serve a value captured at enable time with *fresh* timestamps — the
+    /// pathology a pure staleness check cannot see.
+    void set_frozen(bool frozen);
+
+    /// New samples become visible `delay_s` seconds late, keeping their
+    /// original timestamps (so staleness checks see an aging report).
+    /// 0 disables and flushes nothing early — pending samples still land.
+    void set_report_delay(double delay_s);
+
 private:
     void tick();
 
@@ -59,6 +77,12 @@ private:
     SimTime period_;
     double prev_integral_ = 0.0;
     std::vector<Sample> history_;
+
+    bool dropping_ = false;
+    bool frozen_ = false;
+    double frozen_value_ = 0.0;
+    double delay_s_ = 0.0;
+    std::deque<Sample> pending_; ///< delayed samples not yet visible
 };
 
 /// vmstat-style instantaneous sampler (baseline for the §4.2 comparison).

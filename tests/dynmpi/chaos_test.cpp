@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
 
 #include "dynmpi/runtime.hpp"
 #include "mpisim/machine.hpp"
 #include "mpisim/rank.hpp"
+#include "sim/fault_plan.hpp"
 #include "support/rng.hpp"
 
 namespace dynmpi {
@@ -22,6 +24,7 @@ struct ChaosParams {
     int rows;
     int cycles;
     std::uint64_t seed;
+    std::string faults; ///< optional fault script injected into the run
 };
 
 struct ChaosOutcome {
@@ -57,6 +60,9 @@ ChaosOutcome run_chaos(const ChaosParams& cp) {
         m.cluster().add_load_interval(node, start, end, count, spec);
     }
 
+    if (!cp.faults.empty())
+        m.cluster().install_faults(sim::FaultPlan::parse(cp.faults));
+
     double row_cost_base = rng.uniform(1e-3, 8e-3);
     ChaosOutcome out;
     m.run([&](msg::Rank& r) {
@@ -85,6 +91,11 @@ ChaosOutcome run_chaos(const ChaosParams& cp) {
                 rt.run_phase(ph, costs);
             }
             rt.end_cycle();
+            // Rows adopted after a crash arrive zero-filled; regenerate them
+            // so the data-integrity invariant stays checkable.
+            for (int row : rt.take_recovered_rows().to_vector())
+                for (int j = 0; j < 4; ++j)
+                    A.at<double>(row, j) = row * 7.0 + j;
         }
 
         // Invariants.
@@ -147,6 +158,74 @@ TEST_P(Chaos, DeterministicUnderSameSeed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Chaos, ::testing::Range(1, 11));
+
+/// Random fault script on top of the random load history: at most one crash
+/// (never node 0, which collects results), plus report pathologies, send
+/// loss, and latency spikes.
+std::string random_fault_script(Rng& rng, int nodes, double horizon_s) {
+    std::string s;
+    auto node_not_zero = [&] {
+        return 1 + static_cast<int>(
+                       rng.next_below(static_cast<std::uint64_t>(nodes - 1)));
+    };
+    auto t = [&] { return rng.uniform(0.5, horizon_s); };
+    if (nodes >= 3 && rng.next_double() < 0.7)
+        s += "crash node=" + std::to_string(node_not_zero()) +
+             " t=" + std::to_string(t()) + "\n";
+    if (rng.next_double() < 0.5)
+        s += "drop-reports node=" + std::to_string(node_not_zero()) +
+             " t=" + std::to_string(t()) +
+             " dur=" + std::to_string(rng.uniform(0.5, 2.0)) + "\n";
+    if (rng.next_double() < 0.5)
+        s += "lose-sends node=" + std::to_string(node_not_zero()) +
+             " t=" + std::to_string(t()) + " count=" +
+             std::to_string(1 + rng.next_below(3)) + "\n";
+    if (rng.next_double() < 0.3)
+        s += "net-delay t=" + std::to_string(t()) +
+             " dur=" + std::to_string(rng.uniform(0.2, 1.0)) +
+             " extra=" + std::to_string(rng.uniform(1e-4, 5e-3)) + "\n";
+    return s;
+}
+
+class FaultChaos : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultChaos, InvariantsSurviveRandomFaultScripts) {
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 0xC0FFEE;
+    Rng rng(seed);
+    ChaosParams cp;
+    cp.nodes = 3 + static_cast<int>(rng.next_below(5));
+    cp.rows = cp.nodes * (8 + static_cast<int>(rng.next_below(16)));
+    cp.cycles = 60 + static_cast<int>(rng.next_below(60));
+    cp.seed = seed;
+    cp.faults = random_fault_script(rng, cp.nodes, 3.0);
+
+    ChaosOutcome out = run_chaos(cp);
+    EXPECT_TRUE(out.data_ok) << "seed " << seed << "\n" << cp.faults;
+    EXPECT_EQ(std::accumulate(out.final_counts.begin(),
+                              out.final_counts.end(), 0),
+              cp.rows)
+        << "seed " << seed << "\n" << cp.faults;
+    double expect = 0;
+    for (int row = 0; row < cp.rows; ++row) expect += row * 7.0;
+    EXPECT_NEAR(out.checksum, expect, 1e-6) << "seed " << seed << "\n"
+                                            << cp.faults;
+}
+
+TEST_P(FaultChaos, DeterministicUnderSameSeedAndScript) {
+    std::uint64_t seed = 424242 + static_cast<std::uint64_t>(GetParam());
+    ChaosParams cp{5, 60, 70, seed,
+                   "crash node=2 t=1.3\n"
+                   "drop-reports node=3 t=0.8 dur=1.5\n"
+                   "lose-sends node=1 t=0.5 count=2\n"};
+    ChaosOutcome a = run_chaos(cp);
+    ChaosOutcome b = run_chaos(cp);
+    EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+    EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.final_counts, b.final_counts);
+    EXPECT_EQ(a.redistributions, b.redistributions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaos, ::testing::Range(1, 11));
 
 }  // namespace
 }  // namespace dynmpi

@@ -1,0 +1,133 @@
+// FaultPlan parsing/validation and FaultInjector behavior against a live
+// cluster: faults fire at their virtual times, windows expire, and the
+// injector leaves the cluster in the scripted state.
+#include <gtest/gtest.h>
+
+#include "sim/fault_plan.hpp"
+#include "support/error.hpp"
+
+namespace dynmpi::sim {
+namespace {
+
+TEST(FaultPlanParse, ScriptWithCommentsAndBlankLines) {
+    FaultPlan p = FaultPlan::parse(
+        "# hostile history\n"
+        "\n"
+        "crash node=2 t=1.5\n"
+        "slow node=0 t=0.5 dur=2 factor=0.25   # transient brown-out\n"
+        "drop-reports node=1 t=3\n"
+        "delay-reports node=1 t=4 delay=0.75\n"
+        "net-delay t=2 dur=1 extra=0.01\n"
+        "lose-sends node=3 t=6 count=4\n");
+    ASSERT_EQ(p.faults.size(), 6u);
+    EXPECT_EQ(p.faults[0].kind, FaultKind::Crash);
+    EXPECT_EQ(p.faults[0].node, 2);
+    EXPECT_DOUBLE_EQ(p.faults[0].t, 1.5);
+    EXPECT_EQ(p.faults[1].kind, FaultKind::Slowdown);
+    EXPECT_DOUBLE_EQ(p.faults[1].duration_s, 2.0);
+    EXPECT_DOUBLE_EQ(p.faults[1].value, 0.25);
+    EXPECT_EQ(p.faults[2].kind, FaultKind::ReportDrop);
+    EXPECT_EQ(p.faults[3].kind, FaultKind::ReportDelay);
+    EXPECT_DOUBLE_EQ(p.faults[3].value, 0.75);
+    EXPECT_EQ(p.faults[4].kind, FaultKind::NetDelay);
+    EXPECT_EQ(p.faults[4].node, -1);
+    EXPECT_EQ(p.faults[5].kind, FaultKind::SendLoss);
+    EXPECT_EQ(p.faults[5].count, 4);
+}
+
+TEST(FaultPlanParse, MalformedScriptsThrow) {
+    EXPECT_THROW(FaultPlan::parse("meteor node=0 t=1\n"), Error);
+    EXPECT_THROW(FaultPlan::parse("crash node=0\n"), Error);
+    EXPECT_THROW(FaultPlan::parse("crash node=zero t=1\n"), Error);
+    EXPECT_THROW(FaultPlan::parse("crash node=0 t=1 color=red\n"), Error);
+    EXPECT_THROW(FaultPlan::parse("crash node 0 t=1\n"), Error);
+}
+
+TEST(FaultPlanParse, ToStringRoundTrips) {
+    FaultPlan p = FaultPlan::parse(
+        "crash node=1 t=2\n"
+        "slow node=0 t=0.5 dur=1.5 factor=0.5\n"
+        "net-delay t=3 extra=0.005\n"
+        "lose-sends node=2 t=4 count=3\n");
+    FaultPlan q = FaultPlan::parse(p.to_string());
+    EXPECT_EQ(p.faults, q.faults);
+}
+
+TEST(FaultPlanValidate, RejectsOutOfRangeAndNonsense) {
+    EXPECT_NO_THROW(FaultPlan::parse("crash node=3 t=1\n").validate(4));
+    EXPECT_THROW(FaultPlan::parse("crash node=4 t=1\n").validate(4), Error);
+    EXPECT_THROW(FaultPlan::parse("crash t=1\n").validate(4), Error);
+    EXPECT_THROW(FaultPlan::parse("slow node=0 t=1 factor=0\n").validate(4),
+                 Error);
+    EXPECT_THROW(FaultPlan::parse("lose-sends node=0 t=1\n").validate(4),
+                 Error);
+    EXPECT_THROW(FaultPlan::parse("net-delay t=1\n").validate(4), Error);
+    EXPECT_THROW(FaultPlan::parse("crash node=0 t=-1\n").validate(4), Error);
+}
+
+ClusterConfig small_config(int nodes) {
+    ClusterConfig cc;
+    cc.num_nodes = nodes;
+    cc.seed = 42;
+    cc.ps_period = from_seconds(0.25);
+    return cc;
+}
+
+TEST(FaultInjector, CrashMarksNodeAndNetwork) {
+    Cluster c(small_config(4));
+    c.install_faults(FaultPlan::parse("crash node=2 t=1\n"));
+    c.engine().at(from_seconds(3.0), [] {}); // strong event keeps engine alive
+    c.engine().run();
+    EXPECT_TRUE(c.node_crashed(2));
+    EXPECT_TRUE(c.node(2).crashed());
+    EXPECT_TRUE(c.network().crashed(2));
+    EXPECT_EQ(c.crashed_count(), 1);
+    EXPECT_FALSE(c.node_crashed(0));
+    ASSERT_NE(c.faults(), nullptr);
+    EXPECT_EQ(c.faults()->injected(), 1);
+}
+
+TEST(FaultInjector, SlowdownWindowRestoresSpeed) {
+    Cluster c(small_config(2));
+    double base = c.node(1).cpu().params().speed;
+    c.install_faults(FaultPlan::parse("slow node=1 t=1 dur=2 factor=0.5\n"));
+    double mid_speed = 0.0;
+    c.engine().at(from_seconds(2.0),
+                  [&] { mid_speed = c.node(1).cpu().params().speed; });
+    c.engine().at(from_seconds(4.0), [] {});
+    c.engine().run();
+    EXPECT_DOUBLE_EQ(mid_speed, base * 0.5);
+    EXPECT_DOUBLE_EQ(c.node(1).cpu().params().speed, base);
+}
+
+TEST(FaultInjector, NetDelayWindowAppliesAndClears) {
+    Cluster c(small_config(2));
+    c.install_faults(FaultPlan::parse("net-delay t=1 dur=1 extra=0.02\n"));
+    double mid = -1.0;
+    c.engine().at(from_seconds(1.5),
+                  [&] { mid = c.network().extra_latency(); });
+    c.engine().at(from_seconds(3.0), [] {});
+    c.engine().run();
+    EXPECT_DOUBLE_EQ(mid, 0.02);
+    EXPECT_DOUBLE_EQ(c.network().extra_latency(), 0.0);
+}
+
+TEST(FaultInjector, DroppedReportsStopTheSampleClock) {
+    Cluster c(small_config(2));
+    c.install_faults(FaultPlan::parse("drop-reports node=0 t=1\n"));
+    c.engine().at(from_seconds(5.0), [] {});
+    c.engine().run();
+    // Node 0's daemon stopped publishing at t=1; node 1 kept reporting.
+    EXPECT_LE(to_seconds(c.daemon(0).last_sample_time()), 1.0);
+    EXPECT_GT(to_seconds(c.daemon(1).last_sample_time()), 4.0);
+}
+
+TEST(FaultInjector, InstallTwiceIsRejected) {
+    Cluster c(small_config(2));
+    c.install_faults(FaultPlan::parse("crash node=0 t=1\n"));
+    EXPECT_THROW(c.install_faults(FaultPlan::parse("crash node=1 t=2\n")),
+                 Error);
+}
+
+}  // namespace
+}  // namespace dynmpi::sim

@@ -40,6 +40,14 @@ KNOWN_EVENTS = {
         "cycle", "predicted_unloaded_s", "measured_loaded_s",
         "unloaded_nodes", "drop",
     },
+    "runtime.node_crash": {"cycle", "detail"},
+    "runtime.crash_repair": {"cycle", "node", "rows_adopted"},
+    "runtime.quarantine": {"cycle", "detail"},
+    "runtime.readmit": {"cycle", "detail"},
+    "runtime.stale_report": {"cycle", "node", "age_s"},
+    "fault.inject": {"kind", "node"},
+    "fault.clear": {"kind", "node"},
+    "net.send_retry": {"src", "dst", "attempt"},
     "balancer.decision": {"cycle", "scheme", "candidates", "material"},
     "redist.apply": {
         "cycle", "active_before", "active_after", "rows", "bytes", "messages",
