@@ -15,7 +15,11 @@
 //
 // Fault injection (docs/FAULTS.md):
 //   --faults script.txt  run a fault script against the cluster, e.g.
-//                        "crash node=3 t=1.5" or "drop-reports node=1 t=1 dur=2"
+//                        "crash node=3 t=1.5" or "drop-reports node=1 t=1 dur=2";
+//                        "revive node=3 t=2.5" brings a crashed node back
+//   --replicate on|off   buddy row replication (default off): with it on, a
+//                        crashed node's rows are restored from its ring
+//                        successor instead of coming back zero-filled
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -38,9 +42,13 @@ constexpr int N = 256;        // rows of A and B
 constexpr int kNumIters = 80; // phase cycles
 constexpr double kRowCost = 2e-3;
 
+bool g_replicate = false; // --replicate on|off
+
 void spmd_main(msg::Rank& rank) {
     // ---- regular MPI initialization would go here ----
-    DMPI_init(rank, N);
+    RuntimeOptions opts;
+    opts.replicate = g_replicate;
+    DMPI_init(rank, N, opts);
     DenseArray& A = DMPI_register_dense_array("A", 8, sizeof(double));
     DenseArray& B = DMPI_register_dense_array("B", 8, sizeof(double));
     int phase = DMPI_init_phase(0, N, DMPI_NEAREST_NEIGHBOR,
@@ -54,7 +62,10 @@ void spmd_main(msg::Rank& rank) {
     for (int r : B.held().to_vector())
         for (int j = 0; j < 8; ++j) B.at<double>(r, j) = r + 0.125 * j;
 
-    for (int t = 0; t < kNumIters; ++t) {
+    // A node revived by "revive node=... t=..." restarts here mid-run; its
+    // bootstrap already advanced the cycle counter, so start from there
+    // rather than from 0.
+    for (int t = DMPI_runtime().stats().cycles; t < kNumIters; ++t) {
         DMPI_begin_cycle();
         int start_iter = DMPI_get_start_iter(phase);
         int end_iter = DMPI_get_end_iter(phase);
@@ -126,11 +137,20 @@ int main(int argc, char** argv) {
         else if (want_value("--chrome")) chrome_path = argv[++i];
         else if (want_value("--metrics")) metrics_path = argv[++i];
         else if (want_value("--faults")) faults_path = argv[++i];
+        else if (want_value("--replicate")) {
+            std::string v = argv[++i];
+            if (v == "on") g_replicate = true;
+            else if (v == "off") g_replicate = false;
+            else {
+                std::fprintf(stderr, "--replicate takes on or off\n");
+                return 2;
+            }
+        }
         else {
             std::fprintf(stderr,
                          "usage: quickstart [--trace f.jsonl] "
                          "[--chrome f.json] [--metrics f.json] "
-                         "[--faults script.txt]\n");
+                         "[--faults script.txt] [--replicate on|off]\n");
             return 2;
         }
     }

@@ -1,5 +1,6 @@
 #include "apps/cg.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/error.hpp"
@@ -173,6 +174,161 @@ CgResult run_cg(msg::Rank& rank, const CgConfig& config) {
         }
         out.residual_history.push_back(rr);
         rt.end_cycle();
+    }
+
+    out.residual_norm2 = rr;
+    out.checksum = rr;
+    fill_common_result(out, rt);
+    return out;
+}
+
+CgRecoverResult run_cg_recoverable(msg::Rank& rank, const CgConfig& config) {
+    const int n = config.n;
+    DYNMPI_REQUIRE(config.runtime.replicate,
+                   "run_cg_recoverable requires RuntimeOptions.replicate");
+    Runtime rt(rank, n, config.runtime);
+
+    SparseMatrix& A = rt.register_sparse("A", n);
+    DenseArray& X = rt.register_dense("x", 1, sizeof(double));
+    DenseArray& R = rt.register_dense("r", 1, sizeof(double));
+    DenseArray& P = rt.register_dense("p", 1, sizeof(double));
+    DenseArray& Q = rt.register_dense("q", 1, sizeof(double));
+
+    int ph = rt.init_phase(
+        0, n,
+        PhaseComm{CommPattern::AllGather,
+                  static_cast<std::size_t>(n) * sizeof(double)});
+    for (const char* name : {"A", "x", "r", "p", "q"})
+        rt.add_array_access(name, AccessMode::Write, ph, 1, 0);
+    rt.commit_setup();
+
+    for (int i : rt.my_iters(ph).to_vector()) {
+        for (auto [c, v] : row_entries(config, i)) A.set(i, c, v);
+        X.at<double>(i, 0) = 0.0;
+        R.at<double>(i, 0) = rhs_value(i);
+        P.at<double>(i, 0) = rhs_value(i);
+        Q.at<double>(i, 0) = 0.0;
+    }
+
+    auto local_dot = [&](DenseArray& a, DenseArray& b) {
+        double s = 0.0;
+        for (int i : rt.my_iters(ph).to_vector())
+            s += a.at<double>(i, 0) * b.at<double>(i, 0);
+        return s;
+    };
+    auto sum_active = [&](double v) {
+        return msg::allreduce_scalar(rank, rt.active_group(), v, msg::OpSum{});
+    };
+
+    double rr = sum_active(local_dot(R, R));
+
+    CgRecoverResult out;
+    int repairs_seen = rt.stats().crash_repairs;
+    for (int cycle = 0; cycle < config.cycles; ++cycle) {
+        fire_hook(config.on_cycle, rank, cycle);
+        for (;;) {
+            // Snapshot the cycle-start state of my rows.  After a rollback
+            // the restored + rolled-back rows are again at cycle start, so
+            // re-snapshotting each attempt also covers freshly adopted rows
+            // before a possible second crash.
+            std::vector<int> snap_rows = rt.my_iters(ph).to_vector();
+            std::vector<double> snap_x, snap_r, snap_p, snap_q;
+            for (int i : snap_rows) {
+                snap_x.push_back(X.at<double>(i, 0));
+                snap_r.push_back(R.at<double>(i, 0));
+                snap_p.push_back(P.at<double>(i, 0));
+                snap_q.push_back(Q.at<double>(i, 0));
+            }
+            const double rr_snap = rr;
+
+            try {
+                rt.begin_cycle();
+                std::vector<double> mine;
+                std::vector<int> my_rows = rt.my_iters(ph).to_vector();
+                mine.reserve(my_rows.size());
+                for (int i : my_rows) mine.push_back(P.at<double>(i, 0));
+                auto gathered = msg::allgather(rank, rt.active_group(), mine);
+                std::vector<double> full_p(static_cast<std::size_t>(n), 0.0);
+                for (int rel = 0; rel < rt.num_active(); ++rel) {
+                    auto rows = rt.distribution().iters_of(rel).to_vector();
+                    const auto& vals = gathered[static_cast<std::size_t>(rel)];
+                    DYNMPI_CHECK(vals.size() == rows.size(),
+                                 "gathered p misaligned");
+                    for (std::size_t k = 0; k < rows.size(); ++k)
+                        full_p[static_cast<std::size_t>(rows[k])] = vals[k];
+                }
+
+                std::vector<double> costs;
+                costs.reserve(my_rows.size());
+                for (int i : my_rows) {
+                    double s = 0.0;
+                    for (const auto& e : A.row(i))
+                        s += e.value * full_p[static_cast<std::size_t>(e.col)];
+                    Q.at<double>(i, 0) = s;
+                    costs.push_back(config.sec_per_nnz * A.row_nnz(i));
+                }
+                rt.run_phase(ph, costs);
+
+                double pq = sum_active(local_dot(P, Q));
+                double alpha = rr / pq;
+                for (int i : my_rows) {
+                    X.at<double>(i, 0) += alpha * P.at<double>(i, 0);
+                    R.at<double>(i, 0) -= alpha * Q.at<double>(i, 0);
+                }
+                double rr_new = sum_active(local_dot(R, R));
+                double beta = rr_new / rr;
+                rr = rr_new;
+                for (int i : my_rows)
+                    P.at<double>(i, 0) =
+                        R.at<double>(i, 0) + beta * P.at<double>(i, 0);
+                rt.end_cycle();
+            } catch (const msg::PeerFailure&) {
+                // A peer died mid-cycle.  Wake every rank stranded in the
+                // abandoned collective, then join the survivors in
+                // end_cycle: its monitoring pass repairs the active set and
+                // restores the dead node's rows from the buddy.
+                rank.revoke_control();
+                rt.end_cycle();
+            } catch (const msg::EpochRevoked&) {
+                rt.end_cycle();
+            }
+            if (rt.stats().crash_repairs == repairs_seen) break;
+            // A crash was repaired somewhere in this cycle (possibly after
+            // the arithmetic above completed): roll my rows and rr back to
+            // the snapshot and redo the whole cycle against the repaired
+            // ownership.  The adopter's restored rows already hold the
+            // cycle-start state, so no rollback is needed for them.
+            repairs_seen = rt.stats().crash_repairs;
+            ++out.redo_cycles;
+            for (std::size_t k = 0; k < snap_rows.size(); ++k) {
+                int i = snap_rows[k];
+                X.at<double>(i, 0) = snap_x[k];
+                R.at<double>(i, 0) = snap_r[k];
+                P.at<double>(i, 0) = snap_p[k];
+                Q.at<double>(i, 0) = snap_q[k];
+            }
+            rr = rr_snap;
+        }
+        out.residual_history.push_back(rr);
+    }
+
+    // Bitwise row compare: restored matrix rows must match the generator
+    // exactly, not approximately.  Stored rows are col-sorted; the generator
+    // emits bands outward from the diagonal, so sort before comparing.
+    for (int i : rt.my_iters(ph).to_vector()) {
+        auto expect = row_entries(config, i);
+        std::sort(expect.begin(), expect.end());
+        const auto& got = A.row(i);
+        if (got.size() != expect.size()) {
+            out.matrix_intact = false;
+            continue;
+        }
+        std::size_t k = 0;
+        for (const auto& e : got) {
+            if (e.col != expect[k].first || e.value != expect[k].second)
+                out.matrix_intact = false;
+            ++k;
+        }
     }
 
     out.residual_norm2 = rr;

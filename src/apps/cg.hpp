@@ -30,6 +30,20 @@ struct CgResult : AppResult {
 
 CgResult run_cg(msg::Rank& rank, const CgConfig& config);
 
+struct CgRecoverResult : CgResult {
+    bool matrix_intact = true; ///< owned A rows match the generator bitwise
+    int redo_cycles = 0;       ///< cycles rolled back and redone after repair
+};
+
+/// Crash-masked CG.  Requires RuntimeOptions.replicate: every completed
+/// cycle's replica refresh makes the buddies hold the cycle-boundary state,
+/// so when a node crash is repaired mid-cycle the adopter's restored rows
+/// and every survivor's snapshot rollback meet at the same consistent point
+/// and the cycle is simply redone.  Intended for quiet-load scenarios (no
+/// removal of live nodes): a removed-but-alive follower could not take part
+/// in the rollback.
+CgRecoverResult run_cg_recoverable(msg::Rank& rank, const CgConfig& config);
+
 /// Reference single-process CG on the same system; returns ||r||^2 history.
 std::vector<double> reference_cg_residuals(const CgConfig& config);
 

@@ -16,6 +16,7 @@ DenseArray::DenseArray(std::string name, int global_rows, int row_elems,
 std::byte* DenseArray::row_data(int row) {
     auto it = rows_.find(row);
     DYNMPI_REQUIRE(it != rows_.end(), "access to non-held row of " + name_);
+    mark_row_dirty(row);
     return it->second.data();
 }
 
@@ -56,6 +57,7 @@ void DenseArray::unpack_rows(const std::vector<std::byte>& data) {
         std::memcpy(it->second.data(), data.data() + pos, nbytes);
         pos += nbytes;
         held_.add(row, row + 1);
+        mark_row_dirty(row);
     }
     stats_.bytes_unpacked += data.size();
 }
@@ -74,6 +76,7 @@ void DenseArray::ensure_rows(const RowSet& rows) {
         if (inserted) {
             it->second.assign(row_bytes(), std::byte{0});
             ++stats_.rows_allocated;
+            mark_row_dirty(r);
         }
     }
     held_.add(rows);
@@ -95,6 +98,7 @@ ContiguousDenseArray::ContiguousDenseArray(std::string name, int global_rows,
 
 std::byte* ContiguousDenseArray::row_data(int row) {
     DYNMPI_REQUIRE(held_.contains(row), "access to non-held row of " + name_);
+    mark_row_dirty(row);
     return buffer_.data() + static_cast<std::size_t>(row - base_) * row_bytes();
 }
 
@@ -168,6 +172,7 @@ void ContiguousDenseArray::unpack_rows(const std::vector<std::byte>& data) {
         std::uint64_t nbytes = get_u64(data, pos);
         DYNMPI_REQUIRE(nbytes == row_bytes(), "dense row size mismatch");
         held_.add(row, row + 1);
+        mark_row_dirty(row);
         std::memcpy(buffer_.data() +
                         static_cast<std::size_t>(row - base_) * row_bytes(),
                     data.data() + pos, nbytes);
@@ -189,6 +194,7 @@ void ContiguousDenseArray::drop_rows(const RowSet& rows) {
 void ContiguousDenseArray::ensure_rows(const RowSet& rows) {
     if (rows.empty()) return;
     RowSet target = held_.unite(rows);
+    mark_rows_dirty(rows.subtract(held_));
     reextent(target.first(), target.last() + 1);
     held_ = target;
 }

@@ -10,10 +10,39 @@ DistArray::DistArray(std::string name, int global_rows)
     : name_(std::move(name)), global_rows_(global_rows) {
     DYNMPI_REQUIRE(global_rows_ > 0, "array needs at least one row");
     DYNMPI_REQUIRE(!name_.empty(), "array needs a name");
+    dirty_.assign(static_cast<std::size_t>(global_rows_), 0);
 }
 
 void DistArray::retain_only(const RowSet& keep) {
     drop_rows(held_.subtract(keep));
+}
+
+void DistArray::mark_rows_dirty(const RowSet& rows) {
+    for (const RowInterval& iv : rows.intervals())
+        for (int r = iv.lo; r < iv.hi; ++r) mark_row_dirty(r);
+}
+
+RowSet DistArray::dirty_rows(const RowSet& scope) const {
+    RowSet out;
+    for (const RowInterval& iv : scope.intervals()) {
+        int run = -1;
+        for (int r = iv.lo; r < iv.hi; ++r) {
+            if (dirty_[static_cast<std::size_t>(r)]) {
+                if (run < 0) run = r;
+            } else if (run >= 0) {
+                out.add(run, r);
+                run = -1;
+            }
+        }
+        if (run >= 0) out.add(run, iv.hi);
+    }
+    return out;
+}
+
+void DistArray::clear_dirty(const RowSet& rows) {
+    for (const RowInterval& iv : rows.intervals())
+        for (int r = iv.lo; r < iv.hi; ++r)
+            dirty_[static_cast<std::size_t>(r)] = 0;
 }
 
 void DistArray::put_u32(std::vector<std::byte>& out, std::uint32_t v) {

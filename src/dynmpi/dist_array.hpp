@@ -56,6 +56,21 @@ public:
     /// Keep only `keep`; everything else is dropped.
     void retain_only(const RowSet& keep);
 
+    // ---- dirty-row tracking (replication support) ----
+    //
+    // Every mutation path (writable row access, unpack, fresh allocation)
+    // marks the touched rows dirty; the replication layer reads the dirty
+    // set to ship incremental deltas and clears it once a refresh lands.
+
+    void mark_row_dirty(int row) {
+        if (row >= 0 && row < global_rows_) dirty_[static_cast<std::size_t>(row)] = 1;
+    }
+    void mark_rows_dirty(const RowSet& rows);
+
+    /// Rows within `scope` modified since the last clear_dirty.
+    RowSet dirty_rows(const RowSet& scope) const;
+    void clear_dirty(const RowSet& rows);
+
     /// Expected storage per row (dense: exact; sparse: current average) —
     /// the basis for memory-aware balancing.
     virtual std::size_t nominal_row_bytes() const = 0;
@@ -66,8 +81,7 @@ public:
     const Stats& stats() const { return stats_; }
     void reset_stats() { stats_ = {}; }
 
-protected:
-    // ---- pack-format helpers for implementations ----
+    // ---- pack-format helpers (implementations + the replica store) ----
     static void put_u32(std::vector<std::byte>& out, std::uint32_t v);
     static void put_u64(std::vector<std::byte>& out, std::uint64_t v);
     static std::uint32_t get_u32(const std::vector<std::byte>& in,
@@ -75,9 +89,11 @@ protected:
     static std::uint64_t get_u64(const std::vector<std::byte>& in,
                                  std::size_t& pos);
 
+protected:
     std::string name_;
     int global_rows_;
     RowSet held_;
+    std::vector<char> dirty_; ///< per-row modified-since-refresh flags
     mutable Stats stats_;
 };
 

@@ -29,10 +29,24 @@ Runtime::Runtime(msg::Rank& rank, int global_rows, RuntimeOptions opts)
     DYNMPI_REQUIRE(opts_.quarantine_bad_reports > 0 &&
                        opts_.readmit_clean_cycles > 0,
                    "quarantine thresholds must be positive");
+    if (opts_.replicate && opts_.replica_refresh_s > 0.0) {
+        double period = sim::to_seconds(rank_.ps_daemon().period());
+        DYNMPI_REQUIRE(
+            opts_.replica_refresh_s >= period,
+            "replica_refresh_s (" + std::to_string(opts_.replica_refresh_s) +
+                "s) is shorter than the dmpi_ps monitoring period (" +
+                std::to_string(period) +
+                "s): replica refreshes piggyback on the monitoring cycle "
+                "and cannot run more often than it");
+    }
     opts_.timing.grace_cycles = opts_.grace_cycles;
     bad_streak_.assign(static_cast<std::size_t>(world_.size()), 0);
     clean_streak_.assign(static_cast<std::size_t>(world_.size()), 0);
     quarantined_.assign(static_cast<std::size_t>(world_.size()), 0);
+    joinable_.assign(static_cast<std::size_t>(world_.size()), 1);
+    bootstrapped_gen_.assign(static_cast<std::size_t>(world_.size()), 0);
+    bootstrap_cycle_.assign(static_cast<std::size_t>(world_.size()), -1);
+    seen_gen_.assign(static_cast<std::size_t>(world_.size()), 0);
     dist_ = opts_.initial_dist == Distribution::Kind::Block
                 ? Distribution::even_block(0, global_rows_, world_.size())
                 : Distribution::cyclic(0, global_rows_, world_.size(),
@@ -67,6 +81,7 @@ const char* adaptation_trace_name(AdaptationEvent::Kind k) {
     case AdaptationEvent::Kind::NodeCrash: return "runtime.node_crash";
     case AdaptationEvent::Kind::Quarantine: return "runtime.quarantine";
     case AdaptationEvent::Kind::Readmit: return "runtime.readmit";
+    case AdaptationEvent::Kind::Rejoin: return "runtime.rejoin";
     }
     return "runtime.event";
 }
@@ -85,6 +100,7 @@ const char* adaptation_counter_name(AdaptationEvent::Kind k) {
     case AdaptationEvent::Kind::NodeCrash: return "runtime.crashes";
     case AdaptationEvent::Kind::Quarantine: return "runtime.quarantines";
     case AdaptationEvent::Kind::Readmit: return "runtime.readmits";
+    case AdaptationEvent::Kind::Rejoin: return "runtime.rejoins";
     }
     return "runtime.events";
 }
@@ -190,6 +206,15 @@ void Runtime::commit_setup() {
     DYNMPI_REQUIRE(!committed_, "commit_setup called twice");
     DYNMPI_REQUIRE(!phases_.empty(), "define at least one phase");
 
+    replicas_ = std::make_unique<ReplicaStore>(arrays_.size());
+    if (rank_.node().generation() > 0) {
+        // This process was restarted after its node revived: the rest of
+        // the world is mid-run, so the setup collectives below are long
+        // gone.  Rejoin through the leader's bootstrap instead.
+        bootstrap_rejoin();
+        return;
+    }
+
     comm_costs_ = opts_.calibrate ? calibrate_comm_costs(rank_, world_)
                                   : opts_.comm_costs;
     speeds_ = msg::allgather_scalar(rank_, world_, node_speed());
@@ -270,6 +295,166 @@ msg::Group Runtime::protocol_group() const {
     return msg::Group(active_.members(), rank_.machine().revoke_epoch());
 }
 
+namespace {
+/// Bootstrap for a restarted rank, unique per (node, incarnation).
+std::uint64_t bootstrap_tag(int node, int generation) {
+    return msg::make_tag(
+        msg::TagSpace::Runtime,
+        hash_combine(0xB0075ULL,
+                     hash_combine(static_cast<std::uint64_t>(node),
+                                  static_cast<std::uint64_t>(generation))));
+}
+
+/// Replica traffic: refresh deltas (salted by cycle) and wholesale rewrites
+/// (salted by redistribution sequence) share the shape; `wholesale`
+/// separates the two tag families.
+std::uint64_t replica_tag(bool wholesale, std::uint64_t salt,
+                          std::size_t array_idx) {
+    std::uint64_t base = wholesale ? 0x4EBCA7AULL : 0x4EBF2E5ULL;
+    return msg::make_tag(
+        msg::TagSpace::Runtime,
+        hash_combine(base, hash_combine(salt, array_idx)));
+}
+
+/// Restore of a dead node's rows, unique per (node, incarnation, array):
+/// deliberately NOT epoch-salted, so an adopter's retried receive still
+/// matches the blob the buddy already shipped in an abandoned round.
+std::uint64_t restore_tag(int dead, int generation, std::size_t array_idx) {
+    return msg::make_tag(
+        msg::TagSpace::Runtime,
+        hash_combine(0x2E5702EULL,
+                     hash_combine(static_cast<std::uint64_t>(dead),
+                                  hash_combine(
+                                      static_cast<std::uint64_t>(generation),
+                                      array_idx))));
+}
+
+void put_f64(std::vector<std::byte>& out, double d) {
+    std::uint64_t b;
+    std::memcpy(&b, &d, sizeof b);
+    DistArray::put_u64(out, b);
+}
+
+double get_f64(const std::vector<std::byte>& in, std::size_t& pos) {
+    std::uint64_t b = DistArray::get_u64(in, pos);
+    double d;
+    std::memcpy(&d, &b, sizeof d);
+    return d;
+}
+}  // namespace
+
+void Runtime::leader_send_bootstraps() {
+    auto& cluster = rank_.machine().cluster();
+    for (int w : world_.members()) {
+        auto wi = static_cast<std::size_t>(w);
+        if (active_.contains(w) || cluster.node_crashed(w)) continue;
+        int gen = cluster.node_generation(w);
+        if (gen == 0 || bootstrapped_gen_[wi] == gen) continue;
+        // A revived node is waiting in bootstrap_rejoin.  Hand it the state
+        // a removed follower needs, telling it to pick up the status channel
+        // from the NEXT cycle (this cycle's send-outs are already in
+        // flight).  A leader elected after a crash re-sends — its tracking
+        // is stale — and the duplicate is simply never matched.
+        bootstrapped_gen_[wi] = gen;
+        bootstrap_cycle_[wi] = stats_.cycles;
+        std::vector<std::byte> blob;
+        DistArray::put_u64(blob,
+                           static_cast<std::uint64_t>(stats_.cycles + 1));
+        DistArray::put_u64(blob, redist_seq_);
+        DistArray::put_u64(blob, sendout_seq_);
+        DistArray::put_u64(blob, static_cast<std::uint64_t>(active_.size()));
+        for (int m : active_.members())
+            DistArray::put_u64(blob, static_cast<std::uint64_t>(m));
+        for (int m : world_.members()) {
+            auto mi = static_cast<std::size_t>(m);
+            put_f64(blob, baseline_loads_[mi]);
+            put_f64(blob, speeds_[mi]);
+            put_f64(blob, memories_[mi]);
+            DistArray::put_u64(blob, quarantined_[mi] != 0 ? 1 : 0);
+        }
+        put_f64(blob, comm_costs_.latency_s);
+        put_f64(blob, comm_costs_.bandwidth_Bps);
+        put_f64(blob, comm_costs_.cpu_per_msg_s);
+        put_f64(blob, comm_costs_.cpu_per_byte_s);
+        auto seqs = rank_.export_group_seqs();
+        DistArray::put_u64(blob, seqs.size());
+        for (const auto& [hash, seq] : seqs) {
+            DistArray::put_u64(blob, hash);
+            DistArray::put_u64(blob, seq);
+        }
+        rank_.send_wire(w, bootstrap_tag(w, gen), blob.data(), blob.size());
+    }
+}
+
+void Runtime::bootstrap_rejoin() {
+    reborn_ = true;
+    msg::Rank::ControlScope control(rank_);
+    std::uint64_t tag = bootstrap_tag(rank_.id(), rank_.node().generation());
+    std::vector<std::byte> blob;
+    for (;;) {
+        try {
+            rank_.sync_revocations();
+            blob = rank_.recv_wire(msg::kAnySource, tag);
+            break;
+        } catch (const msg::EpochRevoked&) {
+        } catch (const msg::PeerFailure&) {
+        }
+    }
+    std::size_t pos = 0;
+    stats_.cycles = static_cast<int>(DistArray::get_u64(blob, pos));
+    redist_seq_ = DistArray::get_u64(blob, pos);
+    sendout_seq_ = DistArray::get_u64(blob, pos);
+    int nactive = static_cast<int>(DistArray::get_u64(blob, pos));
+    std::vector<int> members;
+    for (int i = 0; i < nactive; ++i)
+        members.push_back(static_cast<int>(DistArray::get_u64(blob, pos)));
+    active_ = msg::Group(std::move(members));
+    DYNMPI_CHECK(!active_.contains(rank_.id()),
+                 "bootstrap lists the restarted rank as active");
+    const auto W = static_cast<std::size_t>(world_.size());
+    baseline_loads_.assign(W, 0.0);
+    speeds_.assign(W, 1.0);
+    memories_.assign(W, 0.0);
+    for (std::size_t m = 0; m < W; ++m) {
+        baseline_loads_[m] = get_f64(blob, pos);
+        speeds_[m] = get_f64(blob, pos);
+        memories_[m] = get_f64(blob, pos);
+        quarantined_[m] = DistArray::get_u64(blob, pos) != 0 ? 1 : 0;
+    }
+    comm_costs_.latency_s = get_f64(blob, pos);
+    comm_costs_.bandwidth_Bps = get_f64(blob, pos);
+    comm_costs_.cpu_per_msg_s = get_f64(blob, pos);
+    comm_costs_.cpu_per_byte_s = get_f64(blob, pos);
+    // The leader's collective counters, so this rank's next collective on
+    // any shared group lines up with the survivors'.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> seqs(
+        DistArray::get_u64(blob, pos));
+    for (auto& [hash, seq] : seqs) {
+        hash = DistArray::get_u64(blob, pos);
+        seq = DistArray::get_u64(blob, pos);
+    }
+    rank_.import_group_seqs(seqs);
+    row_costs_.assign(static_cast<std::size_t>(global_rows_), 0.0);
+    committed_ = true;
+}
+
+void Runtime::record_rejoins(const msg::Group& now) {
+    auto& cluster = rank_.machine().cluster();
+    for (int w : now.members()) {
+        auto wi = static_cast<std::size_t>(w);
+        int gen = cluster.node_generation(w);
+        if (gen > seen_gen_[wi]) {
+            seen_gen_[wi] = gen;
+            if (gen > 0) {
+                ++stats_.rejoins;
+                record_event(AdaptationEvent::Kind::Rejoin,
+                             "node " + std::to_string(w) +
+                                 " readmitted after restart");
+            }
+        }
+    }
+}
+
 RowSet Runtime::take_recovered_rows() {
     RowSet r = std::move(recovered_rows_);
     recovered_rows_ = RowSet{};
@@ -333,8 +518,10 @@ bool Runtime::repair_active_set() {
 
     // Checkpointless row recovery: each dead member's block is left-merged
     // into its nearest surviving predecessor (the first survivor absorbs any
-    // dead prefix).  No data moves between survivors; adopted rows are
-    // zero-filled and handed to the application via take_recovered_rows().
+    // dead prefix).  No data moves between survivors; adopted rows start
+    // zero-filled.  With replication on, a restore job per dead node is
+    // queued so the adopter refills them from the buddy's copies; without
+    // it they go to the application via take_recovered_rows().
     std::vector<int> old_counts = dist_.counts();
     std::vector<int> new_counts;
     int carry = 0;
@@ -351,6 +538,31 @@ bool Runtime::repair_active_set() {
         }
     }
 
+    if (opts_.replicate) {
+        // Queue one restore per dead member before the old ring is torn
+        // down: buddy = its old-ring successor (holder of its replicas),
+        // adopter = the left-merge owner of its block.  Every surviving
+        // rank derives the identical list.
+        const int n = active_.size();
+        for (int j = 0; j < n; ++j) {
+            int d = active_.member(j);
+            if (!cluster.node_crashed(d)) continue;
+            RowSet rows = dist_.iters_of(j);
+            if (rows.empty()) continue;
+            PendingRestore pr;
+            pr.dead = d;
+            pr.buddy = active_.member((j + 1) % n);
+            pr.adopter = -1;
+            for (int k = j - 1; k >= 0 && pr.adopter < 0; --k)
+                if (!cluster.node_crashed(active_.member(k)))
+                    pr.adopter = active_.member(k);
+            if (pr.adopter < 0) pr.adopter = survivors.front();
+            pr.gen = cluster.node_generation(d);
+            pr.rows = std::move(rows);
+            pending_restores_.push_back(std::move(pr));
+        }
+    }
+
     msg::Group new_active(survivors);
     Distribution new_dist = Distribution::block(0, global_rows_, new_counts);
     RowSet adopted =
@@ -364,7 +576,16 @@ bool Runtime::repair_active_set() {
                                   global_rows_);
         ai.array->ensure_rows(need);
     }
-    recovered_rows_ = recovered_rows_.unite(adopted);
+    if (opts_.replicate) {
+        // The ring changed under us: our successor may be new, so the next
+        // refresh must re-ship everything we own, and any half-finished
+        // refresh this cycle is abandoned (tags would no longer line up).
+        RowSet owned = dist_.iters_of(active_.index_of(rank_.id()));
+        for (auto& ai : arrays_) ai.array->mark_rows_dirty(owned);
+        replica_skip_cycle_ = true;
+    } else {
+        recovered_rows_ = recovered_rows_.unite(adopted);
+    }
     stats_.crash_repairs += static_cast<int>(dead.size());
     for (int d : dead)
         record_event(AdaptationEvent::Kind::NodeCrash,
@@ -377,6 +598,142 @@ bool Runtime::repair_active_set() {
                                       targ("node", d),
                                       targ("rows_adopted", adopted.count())});
     return true;
+}
+
+void Runtime::replica_refresh(bool wholesale, std::uint64_t salt) {
+    const int n = active_.size();
+    if (n < 2 || arrays_.empty()) return; // no buddy to shadow onto
+    if (!active_.contains(rank_.id())) {
+        // Just removed for load: the new ring refreshes among its own
+        // members.  Stale replicas die here; readd rebuilds them wholesale.
+        replicas_->clear();
+        return;
+    }
+    const int rel = rel_rank();
+    const int succ = active_.member((rel + 1) % n);
+    const int pred = active_.member((rel - 1 + n) % n);
+    // Replica payload is application data: full CPU + wire cost even when
+    // the refresh rides the (control-plane) monitoring cycle.
+    msg::Rank::ControlScope data_plane(rank_, /*enable=*/false);
+    // Resume counters make retried recovery attempts replay-safe: completed
+    // sends are never duplicated and completed receives never re-posted.
+    const std::uint64_t key =
+        hash_combine(wholesale ? 0x4EBCA7AULL : 0x4EBF2E5ULL, salt);
+    if (replica_xfer_key_ != key) {
+        replica_xfer_key_ = key;
+        replica_arrays_sent_ = 0;
+        replica_arrays_recvd_ = 0;
+    }
+    const RowSet owned = dist_.iters_of(rel);
+    double t0 = rank_.hrtime();
+    std::uint64_t bytes_out = 0;
+    int rows_out = 0;
+    while (replica_arrays_sent_ < static_cast<int>(arrays_.size())) {
+        auto i = static_cast<std::size_t>(replica_arrays_sent_);
+        DistArray& a = *arrays_[i].array;
+        RowSet rows = wholesale ? owned : a.dirty_rows(owned);
+        std::vector<std::byte> blob = a.pack_rows(rows);
+        rank_.send_wire(succ, replica_tag(wholesale, salt, i), blob.data(),
+                        blob.size());
+        a.clear_dirty(rows);
+        bytes_out += blob.size();
+        rows_out += rows.count();
+        ++replica_arrays_sent_;
+    }
+    stats_.replica_bytes += bytes_out;
+    if (support::metrics().enabled() && bytes_out > 0)
+        support::metrics().counter("runtime.replica_bytes")
+            .add(static_cast<std::int64_t>(bytes_out));
+    while (replica_arrays_recvd_ < static_cast<int>(arrays_.size())) {
+        auto i = static_cast<std::size_t>(replica_arrays_recvd_);
+        auto blob = rank_.recv_wire(pred, replica_tag(wholesale, salt, i));
+        RowSet stored = replicas_->store_blob(i, blob);
+        if (wholesale) replicas_->retain_only(i, stored);
+        ++replica_arrays_recvd_;
+    }
+    ++refreshes_done_;
+    if (support::trace().enabled())
+        support::trace().span(t0, rank_.hrtime(), rank_.id(),
+                              "runtime.replica_refresh",
+                              {targ("cycle", stats_.cycles),
+                               targ("wholesale", wholesale),
+                               targ("rows", rows_out),
+                               targ("bytes",
+                                    static_cast<std::int64_t>(bytes_out))});
+}
+
+void Runtime::perform_pending_restores() {
+    if (pending_restores_.empty()) return;
+    auto& cluster = rank_.machine().cluster();
+    const int me = rank_.id();
+    msg::Rank::ControlScope data_plane(rank_, /*enable=*/false);
+    auto it = pending_restores_.begin();
+    while (it != pending_restores_.end()) {
+        PendingRestore& pr = *it;
+        const bool is_buddy = pr.buddy == me;
+        const bool is_adopter = pr.adopter == me;
+        if (!is_buddy && !is_adopter) {
+            it = pending_restores_.erase(it);
+            continue;
+        }
+        const bool buddy_alive = !cluster.node_crashed(pr.buddy);
+        if (is_buddy && !is_adopter && buddy_alive) {
+            // Ship my copies of the dead node's rows to the adopter, one
+            // blob per array.  Tags are unique per (node, incarnation), so
+            // the adopter's retried receives match these exact packets.
+            while (pr.arrays_done < static_cast<int>(arrays_.size())) {
+                auto i = static_cast<std::size_t>(pr.arrays_done);
+                auto blob = replicas_->extract(i, pr.rows);
+                rank_.send_wire(pr.adopter, restore_tag(pr.dead, pr.gen, i),
+                                blob.data(), blob.size());
+                ++pr.arrays_done;
+            }
+        } else if (is_adopter) {
+            RowSet restored_all = pr.rows;
+            while (pr.arrays_done < static_cast<int>(arrays_.size())) {
+                auto i = static_cast<std::size_t>(pr.arrays_done);
+                if (!buddy_alive && !is_buddy) {
+                    // Double crash inside one refresh interval: the copies
+                    // died with the buddy.  Every remaining row is lost.
+                    pr.missing = pr.rows;
+                    break;
+                }
+                std::vector<std::byte> blob =
+                    is_buddy ? replicas_->extract(i, pr.rows)
+                             : rank_.recv_wire(pr.buddy,
+                                               restore_tag(pr.dead, pr.gen,
+                                                           i));
+                RowSet got = ReplicaStore::rows_in_blob(blob);
+                arrays_[i].array->unpack_rows(blob);
+                pr.missing = pr.missing.unite(pr.rows.subtract(got));
+                ++pr.arrays_done;
+            }
+            restored_all = pr.rows.subtract(pr.missing);
+            // Restored rows are fresh content the NEW owner's buddy has
+            // never seen — they must ride the next refresh.
+            for (auto& ai : arrays_) ai.array->mark_rows_dirty(pr.rows);
+            recovered_rows_ = recovered_rows_.unite(pr.missing);
+            stats_.restored_rows += restored_all.count();
+            RestoreRecord rr;
+            rr.node = pr.dead;
+            rr.buddy = pr.buddy;
+            rr.buddy_alive = buddy_alive || is_buddy;
+            rr.refreshed = refreshes_done_ > 0;
+            rr.restored = restored_all.count();
+            rr.lost = pr.missing.count();
+            stats_.restores.push_back(rr);
+            if (support::metrics().enabled() && rr.restored > 0)
+                support::metrics().counter("runtime.restored_rows")
+                    .add(rr.restored);
+            if (support::trace().enabled())
+                support::trace().instant(
+                    rank_.hrtime(), rank_.id(), "runtime.replica_restore",
+                    {targ("cycle", stats_.cycles), targ("node", pr.dead),
+                     targ("buddy", pr.buddy),
+                     targ("restored", rr.restored), targ("lost", rr.lost)});
+        }
+        it = pending_restores_.erase(it);
+    }
 }
 
 void Runtime::run_monitoring(CycleRecord& rec, double wall) {
@@ -405,10 +762,12 @@ void Runtime::run_monitoring(CycleRecord& rec, double wall) {
                     my_iters(static_cast<int>(ph)).count());
         }
         try {
-            if (participating())
+            if (participating()) {
+                perform_pending_restores();
                 active_cycle_monitor(rec, wall);
-            else
+            } else {
                 removed_cycle_follow();
+            }
             return;
         } catch (const msg::PeerFailure&) {
             // A peer died mid-round: revoke so every rank stranded in the
@@ -520,7 +879,7 @@ std::vector<double> Runtime::read_world_loads(const msg::Group& pg) {
     std::vector<double> blob;
     if (rel_rank() == 0) {
         auto& cluster = rank_.machine().cluster();
-        blob.reserve(2 * static_cast<std::size_t>(world_.size()));
+        blob.reserve(3 * static_cast<std::size_t>(world_.size()));
         for (int w : world_.members()) {
             auto wi = static_cast<std::size_t>(w);
             // Crashed or stale-reporting nodes fall back to the last load
@@ -556,13 +915,33 @@ std::vector<double> Runtime::read_world_loads(const msg::Group& pg) {
         for (int w : world_.members())
             blob.push_back(
                 quarantined_[static_cast<std::size_t>(w)] != 0 ? 1.0 : 0.0);
+        // Joinability: who may be (re)admitted to the active set.  Crashed
+        // nodes are out; restarted nodes (generation > 0) only become
+        // joinable once this leader has bootstrapped their new incarnation
+        // and at least one cycle has passed since (the reborn skips its
+        // bootstrap cycle).  A node already in the active set is joinable by
+        // definition — a freshly promoted leader has no bootstrap record for
+        // nodes readmitted under its predecessor.
+        for (int w : world_.members()) {
+            auto wi = static_cast<std::size_t>(w);
+            bool ok = !cluster.node_crashed(w) &&
+                      (active_.contains(w) ||
+                       cluster.node_generation(w) == 0 ||
+                       (bootstrapped_gen_[wi] == cluster.node_generation(w) &&
+                        stats_.cycles > bootstrap_cycle_[wi]));
+            blob.push_back(ok ? 1.0 : 0.0);
+        }
     }
     msg::bcast(rank_, pg, 0, blob);
-    DYNMPI_CHECK(static_cast<int>(blob.size()) == 2 * world_.size(),
+    DYNMPI_CHECK(static_cast<int>(blob.size()) == 3 * world_.size(),
                  "bad load snapshot");
-    for (int w = 0; w < world_.size(); ++w)
+    for (int w = 0; w < world_.size(); ++w) {
         quarantined_[static_cast<std::size_t>(w)] =
             blob[static_cast<std::size_t>(world_.size() + w)] != 0.0 ? 1 : 0;
+        joinable_[static_cast<std::size_t>(w)] =
+            blob[static_cast<std::size_t>(2 * world_.size() + w)] != 0.0 ? 1
+                                                                         : 0;
+    }
     return std::vector<double>(blob.begin(), blob.begin() + world_.size());
 }
 
@@ -651,6 +1030,10 @@ void Runtime::apply_distribution(const msg::Group& new_active,
     active_ = new_active;
     dist_ = new_dist;
     ++stats_.redistributions;
+    // Ownership just moved wholesale, so the incremental deltas are void:
+    // rewrite every buddy's replica set against the new ring (§4.1 whole-row
+    // shipping, one hop further).
+    if (opts_.replicate) replica_refresh(/*wholesale=*/true, redist_seq_);
     double t1 = rank_.hrtime();
     stats_.redist_wall_s += t1 - t0;
     record_redist_observability(ts, t0, t1, active_before);
@@ -693,13 +1076,14 @@ Runtime::GraceDecision Runtime::compute_grace_decision(
     }
 
     // Candidate set: currently active nodes plus any unloaded node that can
-    // be added back (paper: nodes return when conditions change).  Crashed
-    // nodes never come back; quarantined nodes sit out until readmitted.
-    auto& cluster = rank_.machine().cluster();
+    // be added back (paper: nodes return when conditions change).  The
+    // leader-computed joinable flags cover crashes and restarted-but-not-
+    // yet-bootstrapped incarnations; quarantined nodes sit out until
+    // readmitted.
     std::vector<int> candidates;
     for (int w : world_.members()) {
         auto wi = static_cast<std::size_t>(w);
-        if (cluster.node_crashed(w) || quarantined_[wi] != 0) continue;
+        if (joinable_[wi] == 0 || quarantined_[wi] != 0) continue;
         if (active_.contains(w) ||
             world_loads[wi] <= opts_.load_change_eps)
             candidates.push_back(w);
@@ -984,12 +1368,14 @@ void Runtime::removed_cycle_follow() {
     dist_ = new_dist;
     ++stats_.redistributions;
     ++stats_.readds;
+    if (opts_.replicate) replica_refresh(/*wholesale=*/true, redist_seq_);
     double t1 = rank_.hrtime();
     stats_.redist_wall_s += t1 - t0;
     record_redist_observability(ts, t0, t1, active_before);
     record_event(AdaptationEvent::Kind::Readded,
                  "rejoined as one of " + std::to_string(active_.size()) +
                      " nodes");
+    record_rejoins(active_);
     mode_ = Mode::PostGrace;
     post_count_ = 0;
     post_cycle_max_.clear();
@@ -1016,24 +1402,48 @@ void Runtime::active_cycle_monitor(CycleRecord& rec, double wall) {
         std::fabs(my_load() - baseline_loads_[static_cast<std::size_t>(me)]);
     if (rel_rank() == 0) {
         leader_scan_reports();
+        leader_send_bootstraps();
+        auto& cluster = rank_.machine().cluster();
         for (int w : world_.members()) {
+            auto wi = static_cast<std::size_t>(w);
             if (active_.contains(w)) continue;
-            if (rank_.machine().cluster().node_crashed(w)) continue;
+            if (cluster.node_crashed(w)) continue;
             delta = std::max(
                 delta,
-                std::fabs(
-                    rank_.machine().cluster().daemon(w).avg_competing() -
-                    baseline_loads_[static_cast<std::size_t>(w)]));
+                std::fabs(cluster.daemon(w).avg_competing() -
+                          baseline_loads_[wi]));
+            // A bootstrapped rejoiner waiting outside the active set forces
+            // an adaptation round even on a quiet cluster, like a
+            // quarantine transition: the candidate set changed.
+            int gen = cluster.node_generation(w);
+            if (gen > 0 && bootstrapped_gen_[wi] == gen &&
+                stats_.cycles > bootstrap_cycle_[wi])
+                delta = std::max(delta, opts_.load_change_eps + 1.0);
         }
         // A pending quarantine or readmit must force an adaptation round
         // even when no load moved: it changes the candidate set.
         if (quarantine_due_)
             delta = std::max(delta, opts_.load_change_eps + 1.0);
+        // Replica-refresh go/no-go is the leader's call (time-gated), made
+        // once per cycle so recovery retries replay the same decision.
+        if (opts_.replicate && !refresh_decided_this_cycle_) {
+            refresh_decided_this_cycle_ = true;
+            double now = rank_.hrtime();
+            bool due = opts_.replica_refresh_s <= 0.0 ||
+                       last_refresh_s_ < 0.0 ||
+                       now - last_refresh_s_ >= opts_.replica_refresh_s;
+            refresh_go_cycle_ = due ? 1.0 : 0.0;
+            if (due) last_refresh_s_ = now;
+        }
     }
-    std::vector<double> agg{delta, wall};
+    std::vector<double> agg{delta, wall,
+                            rel_rank() == 0 ? refresh_go_cycle_ : 0.0};
     agg = msg::allreduce(rank_, pg, std::move(agg), msg::OpMax{});
     rec.max_wall_s = agg[1];
     bool load_changed = agg[0] > opts_.load_change_eps;
+    if (opts_.replicate && agg[2] > 0.0 && !replica_skip_cycle_)
+        replica_refresh(/*wholesale=*/false,
+                        static_cast<std::uint64_t>(stats_.cycles));
 
     int redist_before = stats_.redistributions;
     bool may_adapt = opts_.max_redistributions < 0 ||
@@ -1066,6 +1476,7 @@ void Runtime::active_cycle_monitor(CycleRecord& rec, double wall) {
                     Distribution::block(0, global_rows_, decision.counts));
                 record_event(AdaptationEvent::Kind::Redistributed,
                              "blocks " + counts_string(decision.counts));
+                record_rejoins(active_);
                 mode_ = Mode::PostGrace;
                 post_count_ = 0;
                 post_cycle_max_.clear();
@@ -1112,6 +1523,9 @@ void Runtime::end_cycle() {
         msg::Rank::ControlScope control(rank_);
         int redist_before = stats_.redistributions;
         statuses_sent_this_cycle_ = false;
+        refresh_decided_this_cycle_ = false;
+        refresh_go_cycle_ = 0.0;
+        replica_skip_cycle_ = false;
         run_monitoring(rec, wall);
         rec.redistributed = stats_.redistributions != redist_before;
     }

@@ -39,6 +39,7 @@
 #include "dynmpi/dense_array.hpp"
 #include "dynmpi/distribution.hpp"
 #include "dynmpi/redistributor.hpp"
+#include "dynmpi/replica.hpp"
 #include "dynmpi/sparse_matrix.hpp"
 #include "dynmpi/timing.hpp"
 #include "mpisim/collectives.hpp"
@@ -89,6 +90,17 @@ struct RuntimeOptions {
     int quarantine_bad_reports = 3;
     /// Consecutive clean reports before a quarantined node may be readmitted.
     int readmit_clean_cycles = 8;
+    // ---- crash resilience: diskless buddy replication (docs/FAULTS.md) ----
+    /// Shadow each node's owned rows of every registered array onto its
+    /// replication buddy (the successor in the active ring) so a crashed
+    /// node's block is restored with real contents instead of zero-fill.
+    bool replicate = false;
+    /// Minimum seconds between incremental replica refreshes (dirty-row
+    /// deltas piggybacked on the monitoring cycle).  0 refreshes every
+    /// cycle.  Positive values must be at least the dmpi_ps monitoring
+    /// period — refreshes ride the monitoring protocol and cannot run more
+    /// often than it.
+    double replica_refresh_s = 0.0;
 };
 
 /// What happened in one phase cycle (for benches and tests).
@@ -113,11 +125,23 @@ struct AdaptationEvent {
         NodeCrash,    ///< a node crashed; its rows were recovered
         Quarantine,   ///< a node's reports went bad; excluded from balancing
         Readmit,      ///< a quarantined node's reports recovered
+        Rejoin,       ///< a revived (restarted) node was readmitted
     };
     Kind kind = Kind::LoadChange;
     int cycle = 0;
     double time_s = 0.0;
     std::string detail;
+};
+
+/// Outcome of one crashed node's row restoration (tests and the chaos
+/// invariant "no zero-filled rows while the buddy was alive" read these).
+struct RestoreRecord {
+    int node = -1;          ///< the crashed owner
+    int buddy = -1;         ///< its replication buddy (old-ring successor)
+    bool buddy_alive = false;
+    bool refreshed = false; ///< a replica refresh had completed beforehand
+    int restored = 0;       ///< rows restored with real contents
+    int lost = 0;           ///< rows zero-filled and handed to the app
 };
 
 struct RuntimeStats {
@@ -127,10 +151,14 @@ struct RuntimeStats {
     int logical_drops = 0;
     int readds = 0;
     int crash_repairs = 0;      ///< crashed nodes removed with row recovery
+    int rejoins = 0;            ///< revived nodes readmitted to the active set
+    int restored_rows = 0;      ///< crash-adopted rows restored from replicas
     int quarantines = 0;        ///< nodes quarantined for bad reports
     int quarantine_readmits = 0;
     int stale_fallbacks = 0;    ///< stale-report observations (leader only)
     double redist_wall_s = 0.0; ///< total time spent inside redistributions
+    std::uint64_t replica_bytes = 0; ///< replica payload shipped by this rank
+    std::vector<RestoreRecord> restores;
     std::vector<CycleRecord> history;
     std::vector<AdaptationEvent> events;
     RedistStats transfer;
@@ -206,9 +234,13 @@ public:
     // ---- failure recovery ----
 
     /// Rows this node adopted through crash recovery since the last call
-    /// (left-merged from dead neighbours, zero-filled).  The application
-    /// must re-initialize them — the runtime is checkpointless, so a dead
-    /// node's in-flight row contents are lost by design.
+    /// that could NOT be restored and were zero-filled.  Without
+    /// replication (options().replicate == false) that is every adopted
+    /// row — the runtime is checkpointless and a dead node's in-flight row
+    /// contents are lost by design.  With replication on, restoration from
+    /// the buddy's copies normally leaves this empty; a non-empty result is
+    /// the double-crash diagnostic (owner and buddy both died within one
+    /// refresh interval) and the application must re-initialize those rows.
     RowSet take_recovered_rows();
 
     // ---- introspection ----
@@ -262,10 +294,35 @@ private:
     void leader_scan_reports();
 
     /// Drop crashed members from the active set, left-merging their row
-    /// blocks into surviving predecessors (zero data movement).  Adopted
-    /// rows are recorded in recovered_rows_.  Returns true if anything
-    /// changed.
+    /// blocks into surviving predecessors (zero data movement).  Without
+    /// replication, adopted rows are recorded in recovered_rows_; with it,
+    /// restore jobs are queued for perform_pending_restores.  Returns true
+    /// if anything changed.
     bool repair_active_set();
+
+    // ---- replication + rejoin internals ----
+
+    /// Ship this node's rows of every array to its ring successor and
+    /// absorb the predecessor's.  `wholesale` sends full ownership (used
+    /// around redistributions, `salt` = the redistribution sequence);
+    /// otherwise only dirty rows go out (`salt` = the cycle number).
+    /// Re-entrant across recovery retries: per-salt resume counters skip
+    /// completed sends/receives so replayed attempts stay matched.
+    void replica_refresh(bool wholesale, std::uint64_t salt);
+
+    /// Drain queued restore jobs: buddies ship their copies of dead nodes'
+    /// rows to the adopters, which unpack them in place.  Rows the buddy
+    /// never saw (or whose buddy also died) are zero-filled and reported
+    /// through take_recovered_rows.  Safe to retry after a failure.
+    void perform_pending_restores();
+
+    /// Leader only: hand a freshly restarted (revived) node the state it
+    /// needs to rejoin as a removed follower of the status channel.
+    void leader_send_bootstraps();
+
+    /// Reborn-rank side of commit_setup: skip the setup collectives and
+    /// wait for the leader's bootstrap instead.
+    void bootstrap_rejoin();
 
     /// Monitoring dispatch with failure recovery: retries the cycle's
     /// control protocol on an epoch-salted group until it completes without
@@ -340,8 +397,39 @@ private:
     std::vector<int> bad_streak_;  ///< per world rank (leader maintained)
     std::vector<int> clean_streak_;
     std::vector<char> quarantined_; ///< per world rank, bcast with loads
+    std::vector<char> joinable_;    ///< per world rank, bcast with loads
     bool quarantine_due_ = false;   ///< leader: transitions want a grace
     bool statuses_sent_this_cycle_ = false;
+
+    // ---- replication + rejoin state ----
+    std::unique_ptr<ReplicaStore> replicas_;
+    double last_refresh_s_ = -1.0;  ///< leader: time of last refresh go
+    bool refresh_decided_this_cycle_ = false; ///< leader: go/no-go is sticky
+    double refresh_go_cycle_ = 0.0;
+    int refreshes_done_ = 0;        ///< completed refreshes on this rank
+    std::uint64_t replica_xfer_key_ = ~0ULL; ///< resume key (cycle or seq)
+    int replica_arrays_sent_ = 0;   ///< per-key retry resume points
+    int replica_arrays_recvd_ = 0;
+    bool replica_skip_cycle_ = false; ///< membership changed mid-cycle
+    /// One queued restoration of a dead node's block from its buddy.
+    struct PendingRestore {
+        int dead = -1;
+        int buddy = -1;   ///< old-ring successor of `dead`
+        int adopter = -1; ///< the left-merge owner of `dead`'s rows
+        int gen = 0;      ///< dead node's generation (tag salt)
+        RowSet rows;
+        int arrays_done = 0; ///< resume point across retries
+        RowSet missing;      ///< rows absent from any array's restore
+    };
+    std::vector<PendingRestore> pending_restores_;
+    std::vector<int> bootstrapped_gen_; ///< leader: generation bootstrapped
+    std::vector<int> bootstrap_cycle_;  ///< leader: cycle it was sent
+    std::vector<int> seen_gen_; ///< per world rank: generation last active
+    bool reborn_ = false; ///< this runtime started via revive + bootstrap
+
+    /// Record Kind::Rejoin for every member of `now` whose node generation
+    /// advanced since it was last active (i.e. it came back via revive).
+    void record_rejoins(const msg::Group& now);
 
     RuntimeStats stats_;
 };

@@ -31,6 +31,7 @@ void SparseMatrix::set(int row, int col, double value) {
         it->value = value;
     else
         list.insert(it, SparseEntry{col, value});
+    mark_row_dirty(row);
 }
 
 double SparseMatrix::get(int row, int col) const {
@@ -48,6 +49,7 @@ bool SparseMatrix::erase(int row, int col) {
                            [col](const SparseEntry& e) { return e.col == col; });
     if (it == list.end()) return false;
     list.erase(it);
+    mark_row_dirty(row);
     return true;
 }
 
@@ -109,6 +111,7 @@ SparseEntry SparseMatrix::Cursor::next() {
 void SparseMatrix::Cursor::set_next(double value) {
     DYNMPI_REQUIRE(!at_end(), "cursor past the end");
     elem_->value = value;
+    m_.mark_row_dirty(held_rows_[row_idx_]);
     ++elem_;
     skip_empty_rows();
 }
@@ -164,6 +167,7 @@ void SparseMatrix::unpack_rows(const std::vector<std::byte>& data) {
             it->second.push_back(e); // wire order is column order
         }
         held_.add(r, r + 1);
+        mark_row_dirty(r);
     }
     stats_.bytes_unpacked += data.size();
 }
@@ -178,7 +182,10 @@ void SparseMatrix::ensure_rows(const RowSet& rows) {
     for (int r : rows.to_vector()) {
         DYNMPI_REQUIRE(r >= 0 && r < global_rows_, "row out of range");
         auto [it, inserted] = rows_.try_emplace(r);
-        if (inserted) ++stats_.rows_allocated;
+        if (inserted) {
+            ++stats_.rows_allocated;
+            mark_row_dirty(r);
+        }
     }
     held_.add(rows);
 }

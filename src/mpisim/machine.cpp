@@ -13,6 +13,7 @@ Machine::Machine(sim::ClusterConfig config) : cluster_(std::move(config)) {
     cluster_.network().set_delivery_handler(
         [this](sim::Packet&& p) { on_delivery(std::move(p)); });
     cluster_.set_crash_handler([this](int node) { on_node_crash(node); });
+    cluster_.set_revive_handler([this](int node) { on_node_revive(node); });
 }
 
 Machine::~Machine() {
@@ -36,43 +37,16 @@ Machine::RankState& Machine::state(int r) {
 void Machine::run(std::function<void(Rank&)> fn) {
     DYNMPI_REQUIRE(!started_, "a Machine runs exactly one program");
     started_ = true;
+    program_ = std::move(fn); // kept beyond this frame: revived ranks rerun it
 
     const int n = num_ranks();
     ranks_.reserve(static_cast<std::size_t>(n));
+    incarnation_.assign(static_cast<std::size_t>(n), 0);
     for (int r = 0; r < n; ++r)
         ranks_.push_back(std::make_unique<RankState>());
 
     for (int r = 0; r < n; ++r) {
-        RankState& rs = state(r);
-        rs.thread = std::thread([this, r, &fn] {
-            Rank rank(*this, r);
-            // Wait for the first resume.
-            {
-                std::unique_lock<std::mutex> lock(mu_);
-                state(r).cv.wait(lock, [&] {
-                    return active_rank_ == r || aborting_;
-                });
-                if (aborting_ && active_rank_ != r) {
-                    state(r).phase = RankPhase::Done;
-                    engine_cv_.notify_all();
-                    return;
-                }
-                state(r).phase = RankPhase::Running;
-            }
-            try {
-                fn(rank);
-            } catch (const MachineAborted&) {
-                // torn down deliberately; not an error of its own
-            } catch (const NodeCrashed&) {
-                // this rank's node died; the process just stops existing
-            } catch (...) {
-                state(r).error = std::current_exception();
-            }
-            std::unique_lock<std::mutex> lock(mu_);
-            state(r).phase = RankPhase::Done;
-            active_rank_ = -1;
-            engine_cv_.notify_all();
-        });
+        spawn_rank_thread(r);
         // Kick every rank off at t=0.
         cluster_.engine().at(0, [this, r] { resume_rank(r); });
     }
@@ -151,6 +125,71 @@ void Machine::export_observability() {
              targ("peak_pending_events",
                   static_cast<std::uint64_t>(eng.peak_pending_events()))});
     }
+}
+
+void Machine::spawn_rank_thread(int r) {
+    RankState& rs = state(r);
+    rs.thread = std::thread([this, r] {
+        Rank rank(*this, r);
+        // Wait for the first resume.
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            state(r).cv.wait(lock, [&] {
+                return active_rank_ == r || aborting_;
+            });
+            if (aborting_ && active_rank_ != r) {
+                state(r).phase = RankPhase::Done;
+                engine_cv_.notify_all();
+                return;
+            }
+            state(r).phase = RankPhase::Running;
+        }
+        try {
+            program_(rank);
+        } catch (const MachineAborted&) {
+            // torn down deliberately; not an error of its own
+        } catch (const NodeCrashed&) {
+            // this rank's node died; the process just stops existing
+        } catch (...) {
+            state(r).error = std::current_exception();
+        }
+        std::unique_lock<std::mutex> lock(mu_);
+        state(r).phase = RankPhase::Done;
+        active_rank_ = -1;
+        engine_cv_.notify_all();
+    });
+}
+
+void Machine::on_node_revive(int node) {
+    // Engine context: no rank holds the baton.  The dead incarnation's thread
+    // unwound via NodeCrashed when its crash wake fired (strictly before this
+    // event), so it is Done; reap it and start a fresh incarnation that
+    // reruns the program from the top.
+    if (!started_) return;
+    RankState* old = ranks_[static_cast<std::size_t>(node)].get();
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        DYNMPI_CHECK(old->phase == RankPhase::Done,
+                     "revive of a rank that has not unwound");
+    }
+    if (old->thread.joinable()) old->thread.join();
+    if (old->error) {
+        // A real error (not NodeCrashed) must not be silently discarded by
+        // the state swap; keep the old state so run() rethrows it.
+        return;
+    }
+    // Packets addressed to the dead incarnation died with it: fresh state,
+    // fresh mailbox.  Deferred wakes from the old incarnation are dropped by
+    // the incarnation guard.
+    ++incarnation_[static_cast<std::size_t>(node)];
+    ranks_[static_cast<std::size_t>(node)] = std::make_unique<RankState>();
+    spawn_rank_thread(node);
+    resume_rank(node);
+}
+
+void Machine::resume_rank_inc(int r, std::uint64_t inc) {
+    if (inc != incarnation_[static_cast<std::size_t>(r)]) return;
+    resume_rank(r);
 }
 
 void Machine::resume_rank(int r) {
@@ -274,8 +313,10 @@ void Machine::on_delivery(sim::Packet&& p) {
             // for the scheduler (wake-up latency).
             double delay = cluster_.node(dst).cpu().next_wake_delay();
             if (delay > 0.0) {
-                cluster_.engine().after(sim::from_seconds(delay),
-                                        [this, dst] { resume_rank(dst); });
+                std::uint64_t inc = incarnation(dst);
+                cluster_.engine().after(
+                    sim::from_seconds(delay),
+                    [this, dst, inc] { resume_rank_inc(dst, inc); });
             } else {
                 resume_rank(dst);
             }

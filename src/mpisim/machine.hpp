@@ -151,8 +151,18 @@ private:
     void export_observability();       ///< push traffic/engine stats to the
                                        ///< metrics registry + trace sink
     void resume_rank(int r);           ///< hand the baton to rank r, wait for it back
+    /// Incarnation-guarded resume for deferred wakes (sleep timers, delayed
+    /// deliveries): dropped if the rank was revived since the wake was
+    /// scheduled, so a dead incarnation's timers cannot fire into the new one.
+    void resume_rank_inc(int r, std::uint64_t inc);
+    std::uint64_t incarnation(int r) const {
+        return incarnation_[static_cast<std::size_t>(r)];
+    }
     void on_delivery(sim::Packet&& p); ///< network upcall (engine context)
     void on_node_crash(int node);      ///< cluster crash handler
+    void on_node_revive(int node);     ///< cluster revive handler: restart the
+                                       ///< rank with a fresh incarnation
+    void spawn_rank_thread(int r);     ///< start rank r's thread running program_
     void abort_blocked_ranks();
 
     // ---- rank-side ----
@@ -167,6 +177,8 @@ private:
 
     sim::Cluster cluster_;
     std::vector<std::unique_ptr<RankState>> ranks_;
+    std::function<void(Rank&)> program_; ///< kept for rank restarts (revive)
+    std::vector<std::uint64_t> incarnation_; ///< bumped per rank revival
 
     std::mutex mu_;
     std::condition_variable engine_cv_;

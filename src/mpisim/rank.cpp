@@ -49,11 +49,12 @@ RowTimings Rank::compute_rows(const std::vector<double>& row_ref_sec) {
 void Rank::sleep(double sec) {
     DYNMPI_REQUIRE(sec >= 0.0, "negative sleep");
     // Same as compute: the wake event must not dangle if this node crashes
-    // before it fires.
+    // before it fires — and must not fire into a revived incarnation either.
     Machine* m = &machine_;
     const int r = id_;
-    machine_.cluster().engine().after(sim::from_seconds(sec),
-                                      [m, r] { m->resume_rank(r); });
+    const std::uint64_t inc = machine_.incarnation(r);
+    machine_.cluster().engine().after(
+        sim::from_seconds(sec), [m, r, inc] { m->resume_rank_inc(r, inc); });
     machine_.yield_from_rank(id_);
 }
 

@@ -6,9 +6,11 @@
 // fires.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mpisim/machine.hpp"
@@ -175,6 +177,21 @@ public:
     // nodes removed from the active set) do not fall out of step.
     std::uint64_t next_group_seq(std::uint64_t group_hash) {
         return group_seq_[group_hash]++;
+    }
+
+    /// Snapshot of every group counter, sorted by hash (deterministic).  A
+    /// rejoin bootstrap ships the leader's snapshot so a freshly restarted
+    /// rank re-enters collectives in step with the survivors.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    export_group_seqs() const {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> v(
+            group_seq_.begin(), group_seq_.end());
+        std::sort(v.begin(), v.end());
+        return v;
+    }
+    void import_group_seqs(
+        const std::vector<std::pair<std::uint64_t, std::uint64_t>>& v) {
+        for (const auto& [hash, seq] : v) group_seq_[hash] = seq;
     }
 
 private:

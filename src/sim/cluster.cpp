@@ -113,8 +113,27 @@ int Cluster::crashed_count() const {
     return n;
 }
 
+void Cluster::revive_node(int node_id) {
+    Node& n = node(node_id);
+    if (!n.crashed()) return;
+    n.revive();
+    network_->mark_alive(node_id);
+    daemon(node_id).restart();
+    if (revive_handler_) revive_handler_(node_id);
+}
+
+int Cluster::node_generation(int node_id) const {
+    DYNMPI_REQUIRE(node_id >= 0 && node_id < size(),
+                   "node index out of range");
+    return nodes_[static_cast<std::size_t>(node_id)]->generation();
+}
+
 void Cluster::set_crash_handler(std::function<void(int)> handler) {
     crash_handler_ = std::move(handler);
+}
+
+void Cluster::set_revive_handler(std::function<void(int)> handler) {
+    revive_handler_ = std::move(handler);
 }
 
 void Cluster::install_faults(const FaultPlan& plan) {

@@ -83,9 +83,20 @@ public:
     bool node_crashed(int node) const;
     int crashed_count() const;
 
+    /// Bring a crashed node back: clear the crashed flags, restart its
+    /// daemon, and fire the revive handler so the message layer can restart
+    /// the node's rank.  No-op on a live node.
+    void revive_node(int node);
+    /// How many times `node` has been revived (0 = original incarnation).
+    int node_generation(int node) const;
+
     /// Installed by the message layer; invoked from engine context once per
     /// crash, after the node and network are already marked dead.
     void set_crash_handler(std::function<void(int)> handler);
+
+    /// Installed by the message layer; invoked from engine context once per
+    /// revival, after the node, network, and daemon are serving again.
+    void set_revive_handler(std::function<void(int)> handler);
 
     /// Arm a fault plan against this cluster (validates the plan and
     /// schedules every fault).  The injector lives as long as the cluster.
@@ -99,6 +110,7 @@ private:
     std::unique_ptr<Network> network_;
     std::vector<std::unique_ptr<PsDaemon>> daemons_;
     std::function<void(int)> crash_handler_;
+    std::function<void(int)> revive_handler_;
     std::unique_ptr<FaultInjector> injector_;
 };
 

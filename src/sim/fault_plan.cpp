@@ -18,6 +18,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::ReportDelay: return "delay-reports";
     case FaultKind::NetDelay: return "net-delay";
     case FaultKind::SendLoss: return "lose-sends";
+    case FaultKind::Revive: return "revive";
     }
     return "?";
 }
@@ -28,7 +29,7 @@ bool kind_from_name(const std::string& name, FaultKind& out) {
     for (FaultKind k :
          {FaultKind::Crash, FaultKind::Slowdown, FaultKind::ReportDrop,
           FaultKind::ReportFreeze, FaultKind::ReportDelay, FaultKind::NetDelay,
-          FaultKind::SendLoss}) {
+          FaultKind::SendLoss, FaultKind::Revive}) {
         if (name == fault_kind_name(k)) {
             out = k;
             return true;
@@ -146,6 +147,19 @@ void FaultPlan::validate(int num_nodes) const {
             throw Error("extra latency must be positive: " + where);
         if (f.kind == FaultKind::SendLoss && f.count <= 0)
             throw Error("send-loss count must be positive: " + where);
+        if (f.kind == FaultKind::Revive) {
+            // A revive must resurrect a node that a strictly earlier crash
+            // took down and that no earlier revive already restored.
+            int down = 0;
+            for (const FaultSpec& g : faults) {
+                if (g.node != f.node || g.t >= f.t) continue;
+                if (g.kind == FaultKind::Crash) ++down;
+                if (g.kind == FaultKind::Revive) --down;
+            }
+            if (down <= 0)
+                throw Error("revive without an earlier crash of the same "
+                            "node (or double revive): " + where);
+        }
     }
 }
 
@@ -157,7 +171,8 @@ FaultInjector::FaultInjector(Cluster& cluster, FaultPlan plan)
         cluster_.engine().at(
             from_seconds(f.t), [this, f] { inject(f); }, /*weak=*/true);
         bool window = f.duration_s > 0.0 && f.kind != FaultKind::Crash &&
-                      f.kind != FaultKind::SendLoss;
+                      f.kind != FaultKind::SendLoss &&
+                      f.kind != FaultKind::Revive;
         if (window)
             cluster_.engine().at(
                 from_seconds(f.t + f.duration_s), [this, f] { clear(f); },
@@ -207,6 +222,9 @@ void FaultInjector::inject(const FaultSpec& f) {
         break;
     case FaultKind::SendLoss:
         cluster_.network().add_send_failures(f.node, f.count);
+        break;
+    case FaultKind::Revive:
+        cluster_.revive_node(f.node);
         break;
     }
 }

@@ -21,13 +21,14 @@
 namespace dynmpi::sim {
 
 enum class FaultKind {
-    Crash,        ///< node halts forever: CPU, daemon, NIC all stop
+    Crash,        ///< node halts: CPU, daemon, NIC all stop (until revived)
     Slowdown,     ///< node's CPU speed multiplied by `value`
     ReportDrop,   ///< dmpi_ps samples silently discarded
     ReportFreeze, ///< dmpi_ps serves a stale value with fresh timestamps
     ReportDelay,  ///< dmpi_ps samples arrive `value` seconds late
     NetDelay,     ///< cluster-wide extra one-way latency of `value` seconds
     SendLoss,     ///< next `count` data-plane sends from `node` fail
+    Revive,       ///< bring a crashed node back: CPU, daemon, NIC restart
 };
 
 const char* fault_kind_name(FaultKind kind);

@@ -26,6 +26,12 @@ void Network::mark_crashed(int node) {
     crashed_[static_cast<std::size_t>(node)] = 1;
 }
 
+void Network::mark_alive(int node) {
+    DYNMPI_REQUIRE(node >= 0 && node < static_cast<int>(crashed_.size()),
+                   "bad node in mark_alive");
+    crashed_[static_cast<std::size_t>(node)] = 0;
+}
+
 void Network::add_send_failures(int node, int count) {
     DYNMPI_REQUIRE(node >= 0 && node < static_cast<int>(fail_tokens_.size()),
                    "bad node in add_send_failures");

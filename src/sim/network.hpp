@@ -75,6 +75,10 @@ public:
         return crashed_[static_cast<std::size_t>(node)] != 0;
     }
 
+    /// Restore service to a revived node (undoes mark_crashed).  Packets
+    /// dropped while it was down stay dropped.
+    void mark_alive(int node);
+
     /// Arm `count` transient failures: the next `count` data-plane sends
     /// from `node` return false from transmit().
     void add_send_failures(int node, int count);

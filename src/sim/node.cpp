@@ -27,6 +27,13 @@ void Node::crash() {
     crashed_at_ = engine_.now();
 }
 
+void Node::revive() {
+    if (!crashed_) return;
+    competing_integral(); // fold the dead interval before load accrues again
+    crashed_ = false;
+    ++generation_;
+}
+
 double Node::competing_integral() const {
     integral_ +=
         active_competing_ * to_seconds(engine_.now() - integral_last_);

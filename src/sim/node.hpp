@@ -51,6 +51,14 @@ public:
     /// Virtual time of the crash (valid only when crashed()).
     SimTime crashed_at() const { return crashed_at_; }
 
+    /// Bring a crashed node back: the crashed flag drops and the incarnation
+    /// counter bumps.  The CPU is already clean idle (halt() cancelled any
+    /// pending completion); the daemon and rank are restarted by the cluster.
+    void revive();
+
+    /// How many times this node has been revived (0 = original incarnation).
+    int generation() const { return generation_; }
+
     /// Physical memory available for application data (0 = unlimited).
     std::uint64_t memory_bytes() const { return memory_bytes_; }
 
@@ -98,6 +106,7 @@ private:
     int active_competing_ = 0;
     bool crashed_ = false;
     SimTime crashed_at_ = 0;
+    int generation_ = 0;
 
     mutable double integral_ = 0.0;
     mutable SimTime integral_last_ = 0;

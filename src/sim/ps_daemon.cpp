@@ -22,6 +22,12 @@ void PsDaemon::set_report_delay(double delay_s) {
     delay_s_ = delay_s;
 }
 
+void PsDaemon::restart() {
+    if (node_.crashed()) return;
+    prev_integral_ = node_.competing_integral();
+    engine_.after(period_, [this] { tick(); }, /*weak=*/true);
+}
+
 void PsDaemon::tick() {
     if (node_.crashed()) return; // daemon dies with its node: no reschedule
     double integral = node_.competing_integral();

@@ -69,6 +69,11 @@ public:
     /// 0 disables and flushes nothing early — pending samples still land.
     void set_report_delay(double delay_s);
 
+    /// Restart the tick loop after a node revival.  The integral baseline is
+    /// resynced so the first post-revival sample covers only its own window,
+    /// not the whole dead interval.
+    void restart();
+
 private:
     void tick();
 

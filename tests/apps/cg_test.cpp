@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "sim/fault_plan.hpp"
+#include "support/error.hpp"
+
 namespace dynmpi::apps {
 namespace {
 
@@ -84,6 +89,65 @@ TEST(CgApp, CostProfileFollowsMatrixStructure) {
 TEST(CgApp, SingleNodeRuns) {
     auto res = run_on(1, small_cg());
     EXPECT_GT(res.residual_history.front(), res.residual_norm2);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery with buddy replication (sparse matrix + iteration vectors)
+// ---------------------------------------------------------------------------
+
+CgRecoverResult run_recoverable(int nodes, CgConfig cc,
+                                const std::string& faults = {},
+                                int collector = 0) {
+    cc.runtime.replicate = true;
+    msg::Machine m(cfg(nodes));
+    if (!faults.empty())
+        m.cluster().install_faults(sim::FaultPlan::parse(faults));
+    CgRecoverResult out;
+    m.run([&](msg::Rank& r) {
+        auto res = run_cg_recoverable(r, cc);
+        if (!res.matrix_intact)
+            throw Error("matrix rows corrupted on rank " +
+                        std::to_string(r.id()));
+        if (r.id() == collector) out = res;
+    });
+    return out;
+}
+
+// An 8-node CG run loses a node mid-solve; the buddy restore hands the
+// adopter the sparse matrix rows and iteration vectors bitwise intact, so
+// the solve converges through the same residuals as the fault-free run.
+TEST(CgApp, CrashMidSolveConvergesLikeFaultFree) {
+    CgConfig cc = small_cg();
+    cc.cycles = 30;
+    auto clean = run_recoverable(8, cc);
+    auto crashed = run_recoverable(8, cc, "crash node=5 t=0.08\n");
+    EXPECT_GE(crashed.stats.crash_repairs, 1);
+    EXPECT_GE(crashed.redo_cycles, 1);
+    ASSERT_EQ(crashed.residual_history.size(),
+              clean.residual_history.size());
+    // Summation order differs once ownership changes, so the comparison is
+    // tight-relative rather than bitwise; the matrix compare above is
+    // bitwise on every rank.
+    for (std::size_t i = 0; i < clean.residual_history.size(); ++i)
+        EXPECT_NEAR(crashed.residual_history[i], clean.residual_history[i],
+                    std::abs(clean.residual_history[i]) * 1e-8 + 1e-12)
+            << "iteration " << i;
+    EXPECT_EQ(crashed.final_active, 7);
+}
+
+// The replication leader (relative rank 0) is not special either.
+TEST(CgApp, LeaderCrashMidSolveConvergesLikeFaultFree) {
+    CgConfig cc = small_cg();
+    cc.cycles = 30;
+    auto clean = run_recoverable(8, cc);
+    auto crashed = run_recoverable(8, cc, "crash node=0 t=0.08\n", 1);
+    EXPECT_GE(crashed.stats.crash_repairs, 1);
+    ASSERT_EQ(crashed.residual_history.size(),
+              clean.residual_history.size());
+    for (std::size_t i = 0; i < clean.residual_history.size(); ++i)
+        EXPECT_NEAR(crashed.residual_history[i], clean.residual_history[i],
+                    std::abs(clean.residual_history[i]) * 1e-8 + 1e-12)
+            << "iteration " << i;
 }
 
 }  // namespace

@@ -25,6 +25,7 @@ struct ChaosParams {
     int cycles;
     std::uint64_t seed;
     std::string faults; ///< optional fault script injected into the run
+    bool replicate = false; ///< buddy replication on every node
 };
 
 struct ChaosOutcome {
@@ -35,6 +36,8 @@ struct ChaosOutcome {
     std::vector<int> final_counts;
     double elapsed = 0;
     double checksum = 0;
+    int restored_rows = 0;
+    int zero_filled = 0;
 };
 
 ChaosOutcome run_chaos(const ChaosParams& cp) {
@@ -69,6 +72,7 @@ ChaosOutcome run_chaos(const ChaosParams& cp) {
         RuntimeOptions o;
         o.calibrate = false;
         o.enable_removal = true; // anything may happen
+        o.replicate = cp.replicate;
         Runtime rt(r, cp.rows, o);
         auto& A = rt.register_dense("A", 4, sizeof(double));
         int ph = rt.init_phase(
@@ -82,6 +86,7 @@ ChaosOutcome run_chaos(const ChaosParams& cp) {
             for (int j = 0; j < 4; ++j)
                 A.at<double>(row, j) = row * 7.0 + j;
 
+        int zero_filled = 0;
         for (int c = 0; c < cp.cycles; ++c) {
             rt.begin_cycle();
             if (rt.participating()) {
@@ -91,12 +96,27 @@ ChaosOutcome run_chaos(const ChaosParams& cp) {
                 rt.run_phase(ph, costs);
             }
             rt.end_cycle();
-            // Rows adopted after a crash arrive zero-filled; regenerate them
-            // so the data-integrity invariant stays checkable.
-            for (int row : rt.take_recovered_rows().to_vector())
+            // Rows adopted after a crash without a usable replica arrive
+            // zero-filled; regenerate them so the data-integrity invariant
+            // stays checkable.  With replication and a live buddy this loop
+            // must never run — the invariant below enforces that.
+            for (int row : rt.take_recovered_rows().to_vector()) {
+                ++zero_filled;
                 for (int j = 0; j < 4; ++j)
                     A.at<double>(row, j) = row * 7.0 + j;
+            }
         }
+
+        // With replication on, a crash whose buddy survived and had at least
+        // one refresh must restore every row: a zero-filled row slipping
+        // through here is data loss the replica should have prevented.
+        for (const auto& rec : rt.stats().restores)
+            if (rec.buddy_alive && rec.refreshed && rec.lost > 0)
+                throw Error("replica restore lost " +
+                            std::to_string(rec.lost) + " rows of node " +
+                            std::to_string(rec.node) +
+                            " although buddy was alive (rank " +
+                            std::to_string(r.id()) + ")");
 
         // Invariants.
         bool ok = true;
@@ -107,6 +127,10 @@ ChaosOutcome run_chaos(const ChaosParams& cp) {
         for (int row : rt.my_iters(ph).to_vector())
             local += A.at<double>(row, 0);
         double sum = rt.allreduce_active(local, msg::OpSum{});
+        double restored = rt.allreduce_active(
+            static_cast<double>(rt.stats().restored_rows), msg::OpSum{});
+        double zf = rt.allreduce_active(static_cast<double>(zero_filled),
+                                        msg::OpSum{});
         if (r.id() == 0) {
             out.data_ok = ok;
             out.checksum = sum;
@@ -114,6 +138,8 @@ ChaosOutcome run_chaos(const ChaosParams& cp) {
             out.drops = rt.stats().physical_drops;
             out.readds = rt.stats().readds;
             out.final_counts = rt.distribution().counts();
+            out.restored_rows = static_cast<int>(restored);
+            out.zero_filled = static_cast<int>(zf);
         } else if (!ok) {
             throw Error("data corrupted on rank " + std::to_string(r.id()));
         }
@@ -226,6 +252,59 @@ TEST_P(FaultChaos, DeterministicUnderSameSeedAndScript) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaos, ::testing::Range(1, 11));
+
+/// FaultChaos with buddy replication: the same random fault scripts, but any
+/// crash whose buddy survived must lose zero row data — run_chaos throws if
+/// a restore record shows loss while the buddy was alive, and the zero-fill
+/// counter must stay at zero whenever rows were restored.
+class ReplicatedFaultChaos : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicatedFaultChaos, CrashesLoseNoDataWhileBuddyAlive) {
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 0xBEEFED;
+    Rng rng(seed);
+    ChaosParams cp;
+    cp.nodes = 3 + static_cast<int>(rng.next_below(5));
+    cp.rows = cp.nodes * (8 + static_cast<int>(rng.next_below(16)));
+    cp.cycles = 60 + static_cast<int>(rng.next_below(60));
+    cp.seed = seed;
+    cp.faults = random_fault_script(rng, cp.nodes, 3.0);
+    cp.replicate = true;
+
+    ChaosOutcome out = run_chaos(cp);
+    EXPECT_TRUE(out.data_ok) << "seed " << seed << "\n" << cp.faults;
+    EXPECT_EQ(std::accumulate(out.final_counts.begin(),
+                              out.final_counts.end(), 0),
+              cp.rows)
+        << "seed " << seed << "\n" << cp.faults;
+    double expect = 0;
+    for (int row = 0; row < cp.rows; ++row) expect += row * 7.0;
+    EXPECT_NEAR(out.checksum, expect, 1e-6) << "seed " << seed << "\n"
+                                            << cp.faults;
+    // A single crash with replication never zero-fills: either the buddy
+    // restores everything, or nothing crashed and there is nothing to fill.
+    EXPECT_EQ(out.zero_filled, 0) << "seed " << seed << "\n" << cp.faults;
+}
+
+TEST_P(ReplicatedFaultChaos, DeterministicUnderSameSeedAndScript) {
+    std::uint64_t seed = 515151 + static_cast<std::uint64_t>(GetParam());
+    ChaosParams cp{5, 60, 70, seed,
+                   "crash node=2 t=1.3\n"
+                   "drop-reports node=3 t=0.8 dur=1.5\n"
+                   "lose-sends node=1 t=0.5 count=2\n",
+                   /*replicate=*/true};
+    ChaosOutcome a = run_chaos(cp);
+    ChaosOutcome b = run_chaos(cp);
+    EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+    EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.final_counts, b.final_counts);
+    EXPECT_EQ(a.redistributions, b.redistributions);
+    EXPECT_EQ(a.restored_rows, b.restored_rows);
+    EXPECT_EQ(a.zero_filled, 0);
+    EXPECT_EQ(b.zero_filled, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicatedFaultChaos,
+                         ::testing::Range(1, 11));
 
 }  // namespace
 }  // namespace dynmpi

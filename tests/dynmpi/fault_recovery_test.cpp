@@ -39,6 +39,13 @@ struct FaultOutcome {
     std::vector<int> final_counts;
     double elapsed = 0;
     std::uint64_t send_failures = 0;
+    // Replication / rejoin observables (summed or maxed over all ranks).
+    double recovered_sum = 0; ///< rows handed out via take_recovered_rows()
+    double restored_sum = 0;  ///< rows refilled from buddy replicas
+    double lost_sum = 0;      ///< rows the restore protocol reported lost
+    double rejoins_max = 0;
+    int final_active = 0;
+    std::uint64_t replica_bytes = 0;
 };
 
 FaultOutcome run_with_faults(const FaultParams& fp) {
@@ -71,7 +78,10 @@ FaultOutcome run_with_faults(const FaultParams& fp) {
         };
         fill(rt.my_iters(ph).to_vector());
 
-        for (int c = 0; c < fp.cycles; ++c) {
+        int recovered = 0;
+        // A revived rank re-enters here with stats().cycles already set to
+        // the cycle it must pick up the status channel from.
+        for (int c = rt.stats().cycles; c < fp.cycles; ++c) {
             rt.begin_cycle();
             if (rt.participating()) {
                 std::vector<double> costs(
@@ -80,9 +90,12 @@ FaultOutcome run_with_faults(const FaultParams& fp) {
                 rt.run_phase(ph, costs);
             }
             rt.end_cycle();
-            // Rows adopted from a crashed node arrive zero-filled; the
-            // application regenerates them (checkpointless recovery).
-            fill(rt.take_recovered_rows().to_vector());
+            // Rows the runtime could not restore arrive zero-filled; the
+            // application regenerates them (checkpointless recovery).  With
+            // replication on this only fires for double-crash losses.
+            RowSet lost = rt.take_recovered_rows();
+            recovered += lost.count();
+            fill(lost.to_vector());
         }
 
         bool ok = true;
@@ -93,6 +106,17 @@ FaultOutcome run_with_faults(const FaultParams& fp) {
         for (int row : rt.my_iters(ph).to_vector())
             local += A.at<double>(row, 0);
         double sum = rt.allreduce_active(local, msg::OpSum{});
+        double lost_rows = 0;
+        for (const RestoreRecord& rr : rt.stats().restores)
+            lost_rows += rr.lost;
+        double restored =
+            rt.allreduce_active(static_cast<double>(rt.stats().restored_rows),
+                                msg::OpSum{});
+        double recovered_all = rt.allreduce_active(
+            static_cast<double>(recovered), msg::OpSum{});
+        double lost_all = rt.allreduce_active(lost_rows, msg::OpSum{});
+        double rejoins = rt.allreduce_active(
+            static_cast<double>(rt.stats().rejoins), msg::OpMax{});
         if (r.id() == fp.collector) {
             out.data_ok = ok;
             out.checksum = sum;
@@ -102,6 +126,12 @@ FaultOutcome run_with_faults(const FaultParams& fp) {
             out.stale_fallbacks = rt.stats().stale_fallbacks;
             out.readds = rt.stats().readds;
             out.final_counts = rt.distribution().counts();
+            out.recovered_sum = recovered_all;
+            out.restored_sum = restored;
+            out.lost_sum = lost_all;
+            out.rejoins_max = rejoins;
+            out.final_active = rt.num_active();
+            out.replica_bytes = rt.stats().replica_bytes;
         } else if (!ok) {
             throw Error("data corrupted on rank " + std::to_string(r.id()));
         }
@@ -199,6 +229,149 @@ TEST(FaultRecovery, TraceIsByteIdenticalAcrossRuns) {
     EXPECT_EQ(traces[0], traces[1]);
     EXPECT_NE(traces[0].find("fault.inject"), std::string::npos);
     EXPECT_NE(traces[0].find("runtime.crash_repair"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Buddy replication: crashes lose zero row data
+// ---------------------------------------------------------------------------
+
+// The tentpole acceptance scenario: with replication on, a single mid-run
+// crash loses no data.  The adopter's rows are refilled from the buddy —
+// bitwise, since the fill pattern is exact in doubles — and the application
+// never sees a zero-filled recovered row.
+TEST(FaultRecovery, ReplicationCrashLosesNoData) {
+    FaultParams fp;
+    fp.nodes = 8;
+    fp.rows = 96;
+    fp.cycles = 60;
+    fp.script = "crash node=5 t=1.5\n";
+    fp.opts.replicate = true;
+    FaultOutcome out = run_with_faults(fp);
+    EXPECT_TRUE(out.data_ok);
+    EXPECT_GE(out.crash_repairs, 1);
+    EXPECT_DOUBLE_EQ(out.recovered_sum, 0.0); // nothing was zero-filled
+    EXPECT_GT(out.restored_sum, 0.0);
+    EXPECT_DOUBLE_EQ(out.lost_sum, 0.0);
+    EXPECT_GT(out.replica_bytes, 0u);
+    EXPECT_EQ(std::accumulate(out.final_counts.begin(),
+                              out.final_counts.end(), 0),
+              fp.rows);
+    EXPECT_NEAR(out.checksum, expected_checksum(fp.rows), 1e-6);
+}
+
+// Identical contents to a fault-free run: both runs end with every element
+// equal to the generator value, which the per-element data_ok check asserts
+// bitwise on every rank.  Here the crash hits the replication leader.
+TEST(FaultRecovery, ReplicationLeaderCrashLosesNoData) {
+    FaultParams fp;
+    fp.nodes = 8;
+    fp.rows = 96;
+    fp.cycles = 60;
+    fp.script = "crash node=0 t=1.5\n";
+    fp.collector = 1;
+    fp.opts.replicate = true;
+    FaultOutcome out = run_with_faults(fp);
+    EXPECT_TRUE(out.data_ok);
+    EXPECT_GE(out.crash_repairs, 1);
+    EXPECT_DOUBLE_EQ(out.recovered_sum, 0.0);
+    EXPECT_GT(out.restored_sum, 0.0);
+    EXPECT_NEAR(out.checksum, expected_checksum(fp.rows), 1e-6);
+}
+
+// Owner and buddy die inside one refresh interval: the copies died with the
+// buddy, so those rows come back zero-filled through the diagnostics-only
+// take_recovered_rows() escape hatch and the application regenerates them.
+TEST(FaultRecovery, DoubleCrashFallsBackToZeroFill) {
+    FaultParams fp;
+    fp.nodes = 8;
+    fp.rows = 96;
+    fp.cycles = 60;
+    fp.script =
+        "crash node=3 t=1.5\n"
+        "crash node=4 t=1.5\n";
+    fp.opts.replicate = true;
+    FaultOutcome out = run_with_faults(fp);
+    EXPECT_TRUE(out.data_ok);
+    EXPECT_GE(out.crash_repairs, 2);
+    // Node 3's buddy (node 4) died with it: its rows are lost and refilled
+    // by the app.  Node 4's buddy (node 5) survived: its rows are restored.
+    EXPECT_GT(out.recovered_sum, 0.0);
+    EXPECT_GT(out.lost_sum, 0.0);
+    EXPECT_GT(out.restored_sum, 0.0);
+    EXPECT_NEAR(out.checksum, expected_checksum(fp.rows), 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Node rejoin: crash + revive closes the shrink/grow loop
+// ---------------------------------------------------------------------------
+
+// A crashed node restarts, is readmitted through the epoch-revocation
+// protocol, and the balancer hands it rows again: world size grows back and
+// every row stays owned exactly once.
+TEST(FaultRecovery, CrashThenReviveRestoresWorldSize) {
+    FaultParams fp;
+    fp.nodes = 8;
+    fp.rows = 96;
+    fp.cycles = 90;
+    fp.script =
+        "crash node=5 t=1.5\n"
+        "revive node=5 t=2.5\n";
+    fp.opts.replicate = true;
+    FaultOutcome out = run_with_faults(fp);
+    EXPECT_TRUE(out.data_ok);
+    EXPECT_GE(out.crash_repairs, 1);
+    EXPECT_GE(out.rejoins_max, 1.0);
+    EXPECT_GE(out.readds, 1);
+    EXPECT_EQ(out.final_active, fp.nodes); // world size restored
+    EXPECT_EQ(static_cast<int>(out.final_counts.size()), fp.nodes);
+    EXPECT_EQ(std::accumulate(out.final_counts.begin(),
+                              out.final_counts.end(), 0),
+              fp.rows);
+    EXPECT_DOUBLE_EQ(out.recovered_sum, 0.0);
+    EXPECT_NEAR(out.checksum, expected_checksum(fp.rows), 1e-6);
+}
+
+// Rejoin also works without replication: the revived node receives its new
+// block through the normal redistribution, which ships actual contents.
+TEST(FaultRecovery, CrashThenReviveWithoutReplication) {
+    FaultParams fp;
+    fp.nodes = 6;
+    fp.rows = 72;
+    fp.cycles = 90;
+    fp.script =
+        "crash node=3 t=1.5\n"
+        "revive node=3 t=2.5\n";
+    FaultOutcome out = run_with_faults(fp);
+    EXPECT_TRUE(out.data_ok);
+    EXPECT_GE(out.rejoins_max, 1.0);
+    EXPECT_EQ(out.final_active, fp.nodes);
+    EXPECT_NEAR(out.checksum, expected_checksum(fp.rows), 1e-6);
+}
+
+// Determinism must survive the full crash/restore/rejoin machinery:
+// identical seed + script still yields a byte-identical trace.
+TEST(FaultRecovery, ReviveTraceIsByteIdenticalAcrossRuns) {
+    FaultParams fp;
+    fp.nodes = 8;
+    fp.rows = 96;
+    fp.cycles = 80;
+    fp.script =
+        "crash node=5 t=1.5\n"
+        "revive node=5 t=2.5\n";
+    fp.opts.replicate = true;
+    std::string traces[2];
+    for (std::string& t : traces) {
+        support::trace().enable();
+        run_with_faults(fp);
+        t = support::trace().jsonl();
+        support::trace().disable();
+        support::trace().clear();
+    }
+    ASSERT_FALSE(traces[0].empty());
+    EXPECT_EQ(traces[0], traces[1]);
+    EXPECT_NE(traces[0].find("runtime.replica_refresh"), std::string::npos);
+    EXPECT_NE(traces[0].find("runtime.replica_restore"), std::string::npos);
+    EXPECT_NE(traces[0].find("runtime.rejoin"), std::string::npos);
 }
 
 // A daemon that stops publishing makes its reports stale; the leader falls

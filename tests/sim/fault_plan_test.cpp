@@ -48,9 +48,49 @@ TEST(FaultPlanParse, ToStringRoundTrips) {
         "crash node=1 t=2\n"
         "slow node=0 t=0.5 dur=1.5 factor=0.5\n"
         "net-delay t=3 extra=0.005\n"
-        "lose-sends node=2 t=4 count=3\n");
+        "lose-sends node=2 t=4 count=3\n"
+        "revive node=1 t=5\n");
     FaultPlan q = FaultPlan::parse(p.to_string());
     EXPECT_EQ(p.faults, q.faults);
+}
+
+TEST(FaultPlanParse, ReviveAfterCrash) {
+    FaultPlan p = FaultPlan::parse(
+        "crash node=2 t=1\n"
+        "revive node=2 t=3\n");
+    ASSERT_EQ(p.faults.size(), 2u);
+    EXPECT_EQ(p.faults[1].kind, FaultKind::Revive);
+    EXPECT_EQ(p.faults[1].node, 2);
+    EXPECT_DOUBLE_EQ(p.faults[1].t, 3.0);
+    EXPECT_NO_THROW(p.validate(4));
+}
+
+TEST(FaultPlanValidate, ReviveWithoutCrashRejected) {
+    EXPECT_THROW(FaultPlan::parse("revive node=2 t=3\n").validate(4), Error);
+    // Revive of a different node than the crashed one.
+    EXPECT_THROW(FaultPlan::parse("crash node=1 t=1\n"
+                                  "revive node=2 t=3\n")
+                     .validate(4),
+                 Error);
+    // Revive scheduled before the crash lands.
+    EXPECT_THROW(FaultPlan::parse("crash node=2 t=3\n"
+                                  "revive node=2 t=1\n")
+                     .validate(4),
+                 Error);
+}
+
+TEST(FaultPlanValidate, DoubleReviveRejected) {
+    EXPECT_THROW(FaultPlan::parse("crash node=2 t=1\n"
+                                  "revive node=2 t=3\n"
+                                  "revive node=2 t=5\n")
+                     .validate(4),
+                 Error);
+    // Crash-revive-crash-revive is a legal history.
+    EXPECT_NO_THROW(FaultPlan::parse("crash node=2 t=1\n"
+                                     "revive node=2 t=3\n"
+                                     "crash node=2 t=5\n"
+                                     "revive node=2 t=7\n")
+                         .validate(4));
 }
 
 TEST(FaultPlanValidate, RejectsOutOfRangeAndNonsense) {
@@ -120,6 +160,23 @@ TEST(FaultInjector, DroppedReportsStopTheSampleClock) {
     // Node 0's daemon stopped publishing at t=1; node 1 kept reporting.
     EXPECT_LE(to_seconds(c.daemon(0).last_sample_time()), 1.0);
     EXPECT_GT(to_seconds(c.daemon(1).last_sample_time()), 4.0);
+}
+
+TEST(FaultInjector, ReviveRestartsNodeWithNewGeneration) {
+    Cluster c(small_config(4));
+    c.install_faults(FaultPlan::parse("crash node=2 t=1\n"
+                                      "revive node=2 t=2\n"));
+    bool crashed_mid = false;
+    c.engine().at(from_seconds(1.5), [&] { crashed_mid = c.node_crashed(2); });
+    c.engine().at(from_seconds(3.0), [] {});
+    c.engine().run();
+    EXPECT_TRUE(crashed_mid);
+    EXPECT_FALSE(c.node_crashed(2));
+    EXPECT_FALSE(c.network().crashed(2));
+    EXPECT_EQ(c.crashed_count(), 0);
+    EXPECT_EQ(c.node_generation(2), 1);
+    EXPECT_EQ(c.node_generation(0), 0);
+    EXPECT_EQ(c.faults()->injected(), 2);
 }
 
 TEST(FaultInjector, InstallTwiceIsRejected) {

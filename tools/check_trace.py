@@ -42,6 +42,9 @@ KNOWN_EVENTS = {
     },
     "runtime.node_crash": {"cycle", "detail"},
     "runtime.crash_repair": {"cycle", "node", "rows_adopted"},
+    "runtime.replica_refresh": {"cycle", "wholesale", "rows", "bytes"},
+    "runtime.replica_restore": {"cycle", "node", "buddy", "restored", "lost"},
+    "runtime.rejoin": {"cycle", "detail"},
     "runtime.quarantine": {"cycle", "detail"},
     "runtime.readmit": {"cycle", "detail"},
     "runtime.stale_report": {"cycle", "node", "age_s"},
