@@ -64,8 +64,11 @@ public:
 private:
     int row_elems_;
     std::size_t elem_bytes_;
-    // Top-level "pointer vector": row id → extended row storage.
-    std::unordered_map<int, std::vector<std::byte>> rows_;
+    // Top-level "pointer vector": row id → extended row storage.  Accessed
+    // strictly by key (find/try_emplace/erase); every iteration that feeds
+    // pack_rows or replica blobs walks a sorted RowSet instead.
+    std::unordered_map<int, std::vector<std::byte>> // dynmpi-lint: ok(unordered-lookup)
+        rows_;
 };
 
 /// Baseline allocator: the local block lives in one contiguous buffer.

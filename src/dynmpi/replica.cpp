@@ -7,6 +7,7 @@ namespace dynmpi {
 
 ReplicaStore::ReplicaStore(std::size_t num_arrays) : rows_(num_arrays) {}
 
+// dynmpi-lint: repair-critical
 RowSet ReplicaStore::store_blob(std::size_t array_idx,
                                 const std::vector<std::byte>& blob) {
     DYNMPI_REQUIRE(array_idx < rows_.size(), "replica store: bad array");
@@ -30,6 +31,7 @@ RowSet ReplicaStore::store_blob(std::size_t array_idx,
     return stored;
 }
 
+// dynmpi-lint: repair-critical
 std::vector<std::byte> ReplicaStore::extract(std::size_t array_idx,
                                              const RowSet& rows) const {
     DYNMPI_REQUIRE(array_idx < rows_.size(), "replica store: bad array");

@@ -83,7 +83,7 @@ const char* adaptation_trace_name(AdaptationEvent::Kind k) {
     case AdaptationEvent::Kind::Readmit: return "runtime.readmit";
     case AdaptationEvent::Kind::Rejoin: return "runtime.rejoin";
     }
-    return "runtime.event";
+    return "runtime.event"; // dynmpi-lint: ok(trace-name) unreachable
 }
 
 /// Metric counter name for an adaptation decision (rank 0 records once per
@@ -102,7 +102,7 @@ const char* adaptation_counter_name(AdaptationEvent::Kind k) {
     case AdaptationEvent::Kind::Readmit: return "runtime.readmits";
     case AdaptationEvent::Kind::Rejoin: return "runtime.rejoins";
     }
-    return "runtime.events";
+    return "runtime.events"; // dynmpi-lint: ok(trace-name) unreachable
 }
 
 const char* mode_name(int mode) {
@@ -455,6 +455,7 @@ void Runtime::record_rejoins(const msg::Group& now) {
     }
 }
 
+// dynmpi-lint: repair-critical
 RowSet Runtime::take_recovered_rows() {
     RowSet r = std::move(recovered_rows_);
     recovered_rows_ = RowSet{};
@@ -502,6 +503,10 @@ void Runtime::leader_scan_reports() {
     }
 }
 
+// Membership repair must stay local and total: every surviving rank derives
+// the identical left-merge from cluster state alone, with no messaging that
+// could throw mid-repair.  The linter (EXC002) enforces this.
+// dynmpi-lint: repair-critical
 bool Runtime::repair_active_set() {
     auto& cluster = rank_.machine().cluster();
     std::vector<int> dead, survivors;
@@ -1045,7 +1050,8 @@ Runtime::GraceDecision Runtime::compute_grace_decision(
     // my owned rows in ascending order.
     RowSet owned = participating() ? dist_.iters_of(rel_rank()) : RowSet{};
     std::vector<int> owned_rows_vec = owned.to_vector();
-    std::unordered_map<int, std::size_t> pos;
+    // row id → slot; written once, read via at() — never iterated.
+    std::unordered_map<int, std::size_t> pos; // dynmpi-lint: ok(unordered-lookup)
     for (std::size_t i = 0; i < owned_rows_vec.size(); ++i)
         pos[owned_rows_vec[i]] = i;
     std::vector<double> mine(owned_rows_vec.size(), 0.0);

@@ -14,7 +14,7 @@
 
 #include <algorithm>
 #include <list>
-#include <unordered_map>
+#include <map>
 
 #include "dynmpi/dist_array.hpp"
 #include "support/error.hpp"
@@ -114,7 +114,10 @@ private:
     RowList& row_mut(int r);
 
     int global_cols_;
-    std::unordered_map<int, RowList> rows_;
+    // Ordered: nnz() and friends iterate this map, and sparse row blobs are
+    // replica-/redistribution-visible, so iteration order must not depend
+    // on hash seeding.
+    std::map<int, RowList> rows_;
 };
 
 }  // namespace dynmpi

@@ -304,7 +304,8 @@ void Machine::on_delivery(sim::Packet&& p) {
         bool tag_ok =
             rs.recv_any_tag
                 ? (rs.recv_space < 0 ||
-                   static_cast<std::int64_t>(p.tag >> 62) == rs.recv_space)
+                   static_cast<std::int64_t>(tag_space(p.tag)) ==
+                       rs.recv_space)
                 : p.tag == rs.recv_tag;
         if (src_ok && tag_ok) {
             rs.recv_waiting = false;

@@ -135,7 +135,7 @@ sim::Packet Rank::recv_packet(int src, std::uint64_t tag, bool any_tag) {
     rs.recv_src = src;
     rs.recv_tag = tag;
     rs.recv_any_tag = any_tag;
-    rs.recv_space = static_cast<std::int64_t>(tag >> 62);
+    rs.recv_space = static_cast<std::int64_t>(tag_space(tag));
     machine_.yield_from_rank(id_);
     if (rs.revoked) {
         rs.revoked = false;

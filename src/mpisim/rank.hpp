@@ -6,10 +6,9 @@
 // fires.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <cstring>
-#include <unordered_map>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -184,10 +183,7 @@ public:
     /// rank re-enters collectives in step with the survivors.
     std::vector<std::pair<std::uint64_t, std::uint64_t>>
     export_group_seqs() const {
-        std::vector<std::pair<std::uint64_t, std::uint64_t>> v(
-            group_seq_.begin(), group_seq_.end());
-        std::sort(v.begin(), v.end());
-        return v;
+        return {group_seq_.begin(), group_seq_.end()};
     }
     void import_group_seqs(
         const std::vector<std::pair<std::uint64_t, std::uint64_t>>& v) {
@@ -208,7 +204,9 @@ private:
     Machine& machine_;
     int id_;
     bool control_mode_ = false;
-    std::unordered_map<std::uint64_t, std::uint64_t> group_seq_;
+    // Ordered so export_group_seqs() — the rejoin-bootstrap payload — walks
+    // counters in hash order without a sort.
+    std::map<std::uint64_t, std::uint64_t> group_seq_;
 };
 
 }  // namespace dynmpi::msg

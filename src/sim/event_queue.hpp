@@ -68,8 +68,9 @@ private:
     void drop_cancelled_head() const;
 
     mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    mutable std::unordered_set<EventId> cancelled_;
-    std::unordered_set<EventId> strong_ids_;
+    // Membership tests and size() only; ordering comes from the heap.
+    mutable std::unordered_set<EventId> cancelled_; // dynmpi-lint: ok(unordered-lookup)
+    std::unordered_set<EventId> strong_ids_;        // dynmpi-lint: ok(unordered-lookup)
     EventId next_id_ = 1;
 };
 

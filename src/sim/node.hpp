@@ -102,7 +102,8 @@ private:
     int app_pid_;
     int daemon_pid_;
 
-    std::unordered_map<int, CompetingState> burst_;
+    // Keyed lookups only (spawn/kill/toggle by pid); never iterated.
+    std::unordered_map<int, CompetingState> burst_; // dynmpi-lint: ok(unordered-lookup)
     int active_competing_ = 0;
     bool crashed_ = false;
     SimTime crashed_at_ = 0;

@@ -1,0 +1,33 @@
+// Fixture: a fully sanctioned file — the linter must stay silent.
+#include <unordered_map>
+
+enum class TagSpace { User, Collective, Runtime };
+TagSpace tag_space(unsigned long long t);
+
+struct Sink {
+    void instant(double, int, const char*);
+};
+Sink& trace();
+struct Registry {
+    int& counter(const char*);
+};
+Registry& metrics();
+
+// pid -> slot lookups only; never iterated.
+struct Table {
+    std::unordered_map<int, int> slots; // dynmpi-lint: ok(unordered-lookup)
+};
+
+int classify(unsigned long long t) {
+    switch (tag_space(t)) {
+    case TagSpace::User: return 0;
+    case TagSpace::Collective: return 1;
+    case TagSpace::Runtime: return 2;
+    }
+    return -1;
+}
+
+void emit() {
+    trace().instant(0.0, 0, "runtime.documented");
+    metrics().counter("runtime.good_metric");
+}

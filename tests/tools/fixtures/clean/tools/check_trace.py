@@ -1,0 +1,4 @@
+"""Fixture schema for the clean tree (never executed by the test)."""
+KNOWN_EVENTS = {
+    "runtime.documented": {"cycle"},
+}

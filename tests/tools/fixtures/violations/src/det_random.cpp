@@ -1,0 +1,4 @@
+// Fixture: DET001 — banned randomness outside support/rng.hpp.
+int noisy_seed() {
+    return rand();
+}

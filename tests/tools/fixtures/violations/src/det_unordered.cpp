@@ -1,0 +1,9 @@
+// Fixture: DET003 — unordered container without a suppression, next to a
+// sanctioned lookup-only table that must stay silent.
+#include <unordered_map>
+
+struct Index {
+    std::unordered_map<int, int> order_sensitive;
+    // pid -> slot lookups only; never iterated.
+    std::unordered_map<int, int> lookup_only; // dynmpi-lint: ok(unordered-lookup)
+};

@@ -1,0 +1,5 @@
+// Fixture: DET002 — wall-clock time outside sim/time.hpp.
+#include <ctime>
+long now_wall() {
+    return time(nullptr);
+}

@@ -1,0 +1,10 @@
+// Fixture: EXC001 — throwing protocol call in a destructor.
+struct Rank {
+    void send_wire(int, unsigned long long, const void*, unsigned long);
+};
+struct Flusher {
+    Rank& rank;
+    ~Flusher() {
+        rank.send_wire(0, 0, nullptr, 0);
+    }
+};

@@ -1,0 +1,9 @@
+// Fixture: EXC002 — throwing protocol call inside a repair-critical
+// function.
+struct Rank {
+    void recv_wire(int, unsigned long long);
+};
+// dynmpi-lint: repair-critical
+void repair_membership(Rank& r) {
+    r.recv_wire(0, 0);
+}

@@ -1,0 +1,8 @@
+// Fixture: TAG001 — raw tag arithmetic and a wide literal.
+#include <cstdint>
+std::uint64_t space_of(std::uint64_t wire) {
+    return wire >> 62;
+}
+std::uint64_t runtime_bit() {
+    return 0x8000000000000000ULL;
+}

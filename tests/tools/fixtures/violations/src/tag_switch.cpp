@@ -1,0 +1,10 @@
+// Fixture: TAG002 — non-exhaustive TagSpace switch without default.
+enum class TagSpace { User, Collective, Runtime };
+TagSpace tag_space(unsigned long long t);
+int classify(unsigned long long t) {
+    switch (tag_space(t)) {
+    case TagSpace::User: return 0;
+    case TagSpace::Collective: return 1;
+    }
+    return 2;
+}

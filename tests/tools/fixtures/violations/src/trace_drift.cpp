@@ -1,0 +1,17 @@
+// Fixture: TRC001/TRC004/TRC005 — names that drifted from schema and docs.
+struct Sink {
+    void instant(double, int, const char*);
+};
+Sink& trace();
+struct Registry {
+    int& counter(const char*);
+};
+Registry& metrics();
+
+void emit_drift() {
+    trace().instant(0.0, 0, "runtime.bogus_event");
+    metrics().counter("runtime.mystery_metric");
+}
+
+// A name that never reaches either sink.
+const char* kRogue = "runtime.rogue_name";

@@ -1,0 +1,15 @@
+// Fixture: consistent emissions — these lines must produce no findings.
+struct Sink {
+    void instant(double, int, const char*);
+};
+Sink& trace();
+struct Registry {
+    int& counter(const char*);
+};
+Registry& metrics();
+
+void emit_ok() {
+    trace().instant(0.0, 0, "runtime.documented");
+    trace().instant(0.0, 0, "runtime.undocumented_event");
+    metrics().counter("runtime.good_metric");
+}

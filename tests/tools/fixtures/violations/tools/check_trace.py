@@ -1,0 +1,6 @@
+"""Fixture schema for the trace cross-check (never executed by the test)."""
+KNOWN_EVENTS = {
+    "runtime.documented": {"cycle"},
+    "runtime.undocumented_event": {"cycle"},
+    "runtime.dead_event": {"cycle"},
+}

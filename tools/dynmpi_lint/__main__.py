@@ -1,0 +1,7 @@
+"""`python3 -m dynmpi_lint` entry point."""
+
+import sys
+
+from .lint import main
+
+sys.exit(main())

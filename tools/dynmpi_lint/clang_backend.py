@@ -1,0 +1,105 @@
+"""Optional libclang refinement for the DET checks.
+
+When the `clang.cindex` bindings and a loadable libclang are present, the
+determinism checks re-run at AST precision: banned calls are resolved
+through the *referenced declaration* (so a local variable named `rand` can
+never false-positive) and unordered-container findings attach to the
+declaration cursor.  Everything degrades to the regex backend — same codes,
+same suppression syntax — when libclang is unavailable, which is the common
+case in CI and the fixture tests pin the regex backend explicitly.
+
+For each translation unit that parses, the AST findings *replace* the
+regex DET findings for that file; files that fail to parse (and all
+headers, which are not TUs) keep the regex results, so the gate's verdict
+is stable whether or not libclang is installed.
+"""
+
+from . import Finding
+from .determinism import SANCTIONED_RANDOMNESS, SANCTIONED_TIME
+
+_BANNED_RANDOM = {
+    "rand", "srand", "srandom", "random", "rand_r", "drand48", "erand48",
+    "lrand48", "nrand48", "mrand48", "jrand48",
+}
+_BANNED_RANDOM_TYPES = {
+    "std::random_device", "std::mt19937", "std::mt19937_64",
+    "std::minstd_rand", "std::minstd_rand0", "std::default_random_engine",
+}
+_BANNED_TIME = {
+    "time", "clock", "gettimeofday", "clock_gettime", "timespec_get",
+    "ftime", "mktime", "localtime", "localtime_r", "gmtime", "gmtime_r",
+    "strftime", "asctime", "ctime",
+}
+_UNORDERED_TYPES = ("unordered_map", "unordered_set", "unordered_multimap",
+                    "unordered_multiset")
+
+
+def available():
+    try:
+        import clang.cindex  # noqa: F401
+    except ImportError:
+        return False
+    try:
+        clang.cindex.Index.create()
+    except Exception:  # missing/unloadable libclang shared object
+        return False
+    return True
+
+
+def check_tu(sf, compile_args, findings):
+    """AST-precision DET checks on one translation unit.  Returns True if
+    the parse succeeded (caller falls back to regex otherwise)."""
+    import clang.cindex as ci
+
+    try:
+        index = ci.Index.create()
+        tu = index.parse(sf.path, args=compile_args or ["-std=c++20"])
+    except Exception:
+        return False
+    if any(d.severity >= ci.Diagnostic.Fatal for d in tu.diagnostics):
+        return False
+
+    rand_ok = sf.rel in SANCTIONED_RANDOMNESS
+    time_ok = sf.rel in SANCTIONED_TIME
+
+    def local(cursor):
+        loc = cursor.location
+        return loc.file is not None and loc.file.name == sf.path
+
+    for cursor in tu.cursor.walk_preorder():
+        if not local(cursor):
+            continue
+        line = cursor.location.line
+        col = cursor.location.column
+        if cursor.kind == ci.CursorKind.CALL_EXPR:
+            ref = cursor.referenced
+            name = ref.spelling if ref is not None else cursor.spelling
+            if not rand_ok and name in _BANNED_RANDOM and \
+                    not sf.suppressed(line, "randomness"):
+                findings.append(Finding(
+                    sf.rel, line, col, "DET001",
+                    f"banned randomness source `{name}` — all randomness "
+                    "must flow through support/rng.hpp (Rng / splitmix64)"))
+            if not time_ok and name in _BANNED_TIME and \
+                    not sf.suppressed(line, "wall-clock"):
+                findings.append(Finding(
+                    sf.rel, line, col, "DET002",
+                    f"banned wall-clock source `{name}()` — observable time "
+                    "must be virtual sim time (sim/time.hpp)"))
+        elif cursor.kind in (ci.CursorKind.VAR_DECL,
+                             ci.CursorKind.FIELD_DECL):
+            spelling = cursor.type.spelling
+            if not rand_ok and spelling in _BANNED_RANDOM_TYPES and \
+                    not sf.suppressed(line, "randomness"):
+                findings.append(Finding(
+                    sf.rel, line, col, "DET001",
+                    f"banned randomness source `{spelling}` — use "
+                    "support/rng.hpp"))
+            if any(u in spelling for u in _UNORDERED_TYPES) and \
+                    not sf.suppressed(line, "unordered-lookup"):
+                findings.append(Finding(
+                    sf.rel, line, col, "DET003",
+                    f"`{spelling}` iteration order depends on hashing — use "
+                    "std::map / sort-before-iterate, or annotate with "
+                    "`// dynmpi-lint: ok(unordered-lookup)`"))
+    return True

@@ -1,0 +1,39 @@
+"""compile_commands.json loader.
+
+The build tree exports a compilation database (CMAKE_EXPORT_COMPILE_COMMANDS
+is on by default for this project); when present it gives the linter the
+authoritative translation-unit list and per-file compiler arguments for the
+libclang backend.  The regex backend only needs the repo layout, so a
+missing database is never an error.
+"""
+
+import json
+import os
+
+
+class CompileDb:
+    def __init__(self, entries):
+        self.entries = entries  # file (absolute) -> argument list
+
+    @classmethod
+    def load(cls, build_dir):
+        path = os.path.join(build_dir, "compile_commands.json")
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw = json.load(f)
+        except (OSError, ValueError):
+            return None
+        entries = {}
+        for e in raw:
+            fn = os.path.normpath(os.path.join(e.get("directory", "."),
+                                               e["file"]))
+            if "arguments" in e:
+                args = list(e["arguments"])[1:-1]
+            else:
+                args = e.get("command", "").split()[1:]
+                args = [a for a in args if a != e["file"]]
+            entries[fn] = args
+        return cls(entries)
+
+    def args_for(self, path):
+        return self.entries.get(os.path.normpath(path))

@@ -1,0 +1,88 @@
+"""DET checks: every observable byte of a run must be a pure function of
+(seed, fault script).  Randomness and wall clocks are therefore restricted
+to their two sanctioned homes, and unordered containers must be explicitly
+marked as lookup-only so no protocol-, trace- or replica-visible iteration
+order can depend on hash seeding.
+
+  DET001  banned randomness source    (sanctioned: support/rng.hpp)
+  DET002  banned wall-clock source    (sanctioned: sim/time.hpp)
+  DET003  std::unordered_* without `// dynmpi-lint: ok(unordered-lookup)`
+"""
+
+import re
+
+from . import Finding
+
+# Files allowed to define/own randomness and virtual time.
+SANCTIONED_RANDOMNESS = {"src/support/rng.hpp"}
+SANCTIONED_TIME = {"src/sim/time.hpp"}
+
+_RAND_CALL = re.compile(
+    r"\b(?:std\s*::\s*)?"
+    r"(rand|srand|srandom|random|rand_r|drand48|erand48|lrand48|nrand48"
+    r"|mrand48|jrand48|random_device|mt19937(?:_64)?|minstd_rand0?"
+    r"|ranlux\w+|knuth_b|default_random_engine|uniform_int_distribution"
+    r"|uniform_real_distribution|normal_distribution|bernoulli_distribution"
+    r"|poisson_distribution|exponential_distribution)\b")
+_RAND_INCLUDE = re.compile(r"#\s*include\s*<random>")
+
+_TIME_CALL = re.compile(
+    r"\b(?:std\s*::\s*)?"
+    r"(time|clock|gettimeofday|clock_gettime|timespec_get|ftime|mktime"
+    r"|localtime(?:_r)?|gmtime(?:_r)?|strftime|asctime(?:_r)?|ctime(?:_r)?)"
+    r"\s*\(")
+_CHRONO_CLOCK = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*"
+    r"(system_clock|steady_clock|high_resolution_clock|utc_clock|file_clock"
+    r"|tai_clock|gps_clock)\b")
+_TIME_INCLUDE = re.compile(r"#\s*include\s*<(ctime|chrono|sys/time\.h)>")
+
+_UNORDERED = re.compile(r"\bstd\s*::\s*unordered_(map|set|multimap|multiset)\b")
+_INCLUDE_LINE = re.compile(r"^\s*#\s*include\b")
+
+
+def check(sf, findings):
+    rand_ok = sf.rel in SANCTIONED_RANDOMNESS
+    time_ok = sf.rel in SANCTIONED_TIME
+    for i, text in enumerate(sf.code_lines, start=1):
+        if not rand_ok and not sf.suppressed(i, "randomness"):
+            for m in _RAND_CALL.finditer(text):
+                findings.append(Finding(
+                    sf.rel, i, m.start(1) + 1, "DET001",
+                    f"banned randomness source `{m.group(1)}` — all "
+                    "randomness must flow through support/rng.hpp "
+                    "(Rng / splitmix64) so runs replay bit-identically"))
+            m = _RAND_INCLUDE.search(text)
+            if m:
+                findings.append(Finding(
+                    sf.rel, i, m.start() + 1, "DET001",
+                    "#include <random> is banned — use support/rng.hpp"))
+        if not time_ok and not sf.suppressed(i, "wall-clock"):
+            for m in _TIME_CALL.finditer(text):
+                findings.append(Finding(
+                    sf.rel, i, m.start(1) + 1, "DET002",
+                    f"banned wall-clock source `{m.group(1)}()` — observable "
+                    "time must be virtual sim time (sim/time.hpp, "
+                    "Rank::hrtime)"))
+            for m in _CHRONO_CLOCK.finditer(text):
+                findings.append(Finding(
+                    sf.rel, i, m.start(1) + 1, "DET002",
+                    f"banned wall-clock source `std::chrono::{m.group(1)}` — "
+                    "use virtual sim time (sim/time.hpp, Rank::hrtime)"))
+            m = _TIME_INCLUDE.search(text)
+            if m:
+                findings.append(Finding(
+                    sf.rel, i, m.start() + 1, "DET002",
+                    f"#include <{m.group(1)}> is banned — observable time "
+                    "must come from sim/time.hpp"))
+        if _INCLUDE_LINE.match(text):
+            continue  # the declaration, not the header name, is what counts
+        for m in _UNORDERED.finditer(text):
+            if sf.suppressed(i, "unordered-lookup"):
+                continue
+            findings.append(Finding(
+                sf.rel, i, m.start() + 1, "DET003",
+                f"std::unordered_{m.group(1)} iteration order depends on "
+                "hashing — use std::map / sort-before-iterate for anything "
+                "protocol-, trace- or replica-visible, or annotate a pure "
+                "lookup table with `// dynmpi-lint: ok(unordered-lookup)`"))

@@ -1,0 +1,136 @@
+"""TAG checks: the 64-bit wire-tag space is owned by mpisim/tags.hpp.
+
+Every composition or decomposition of a wire tag must go through
+msg::make_tag / msg::tag_space / msg::tag_value — a raw `<< 62` / `>> 62`
+or a hand-written wide literal silently re-encodes the namespace layout and
+rots the moment the tag format changes.  Switches over TagSpace must stay
+exhaustive so adding a namespace is a compile-visible event.
+
+  TAG001  raw tag-space arithmetic or wide (>= 2^62) integer literal
+  TAG002  switch on a TagSpace value lacking a case for every enumerator
+          (and with no default)
+"""
+
+import re
+
+from . import Finding
+
+TAG_OWNER = "src/mpisim/tags.hpp"
+
+# Files whose wide literals are not wire tags: the tag-format owner itself,
+# and the PRNG module whose splitmix64/golden-ratio constants are 64-bit by
+# construction.
+_EXEMPT = {TAG_OWNER, "src/support/rng.hpp"}
+
+_SHIFT62 = re.compile(r"(<<|>>)\s*62\b")
+_HEX_WIDE = re.compile(r"\b0[xX]([0-9a-fA-F]{16,})[uUlL]{0,3}\b")
+_DEC_WIDE = re.compile(r"\b(\d{19,})[uUlL]{0,3}\b")
+_SWITCH = re.compile(r"\bswitch\s*\(")
+_ENUMERATORS = ("User", "Collective", "Runtime")
+
+
+def _wide_value(text_value, base):
+    try:
+        return int(text_value, base) >= (1 << 62)
+    except ValueError:
+        return False
+
+
+def check(sf, findings):
+    if sf.rel in _EXEMPT:
+        return
+    for i, text in enumerate(sf.code_lines, start=1):
+        if sf.suppressed(i, "raw-tag"):
+            continue
+        for m in _SHIFT62.finditer(text):
+            findings.append(Finding(
+                sf.rel, i, m.start() + 1, "TAG001",
+                f"raw tag-space arithmetic `{m.group(1)} 62` — compose and "
+                "decompose wire tags only through msg::make_tag / "
+                "msg::tag_space / msg::tag_value"))
+        for m in _HEX_WIDE.finditer(text):
+            if _wide_value(m.group(1), 16):
+                findings.append(Finding(
+                    sf.rel, i, m.start() + 1, "TAG001",
+                    "64-bit literal reaching into the tag namespace bits — "
+                    "build wire tags with msg::make_tag"))
+        for m in _DEC_WIDE.finditer(text):
+            if _wide_value(m.group(1), 10):
+                findings.append(Finding(
+                    sf.rel, i, m.start() + 1, "TAG001",
+                    "64-bit literal reaching into the tag namespace bits — "
+                    "build wire tags with msg::make_tag"))
+    _check_switches(sf, findings)
+
+
+def _check_switches(sf, findings):
+    for i, text in enumerate(sf.code_lines, start=1):
+        for m in _SWITCH.finditer(text):
+            cond, open_pos = _condition(sf, i, m.end() - 1)
+            if cond is None or open_pos is None:
+                continue
+            if "tag_space(" not in cond.replace(" ", "") \
+                    and "TagSpace" not in cond:
+                continue
+            if sf.suppressed(i, "tag-switch"):
+                continue
+            body = _body_text(sf, open_pos[0], open_pos[1])
+            if body is None or re.search(r"\bdefault\s*:", body):
+                continue
+            missing = [e for e in _ENUMERATORS
+                       if not re.search(r"\bTagSpace\s*::\s*" + e + r"\b",
+                                        body)]
+            if missing:
+                findings.append(Finding(
+                    sf.rel, i, m.start() + 1, "TAG002",
+                    "switch over TagSpace is not exhaustive: missing "
+                    f"{', '.join('TagSpace::' + e for e in missing)} "
+                    "(add the cases or a default)"))
+
+
+def _condition(sf, line, col):
+    """Return (condition text, (line, col) of the `{` that follows) for the
+    switch whose '(' is at code_lines[line-1][col]."""
+    depth = 0
+    buf = []
+    ln, c = line, col
+    while ln <= len(sf.code_lines):
+        row = sf.code_lines[ln - 1]
+        while c < len(row):
+            ch = row[c]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return "".join(buf), _next_open_brace(sf, ln, c + 1)
+            if depth >= 1:
+                buf.append(ch)
+            c += 1
+        buf.append(" ")
+        ln += 1
+        c = 0
+    return None, None
+
+
+def _next_open_brace(sf, line, col):
+    ln, c = line, col
+    while ln <= len(sf.code_lines):
+        row = sf.code_lines[ln - 1]
+        while c < len(row):
+            if row[c] == "{":
+                return (ln, c)
+            c += 1
+        ln += 1
+        c = 0
+    return None
+
+
+def _body_text(sf, line, col):
+    end = sf.find_matching_brace(line, col)
+    if end is None:
+        return None
+    rows = []
+    for ln in range(line, end[0] + 1):
+        rows.append(sf.code_lines[ln - 1])
+    return "\n".join(rows)

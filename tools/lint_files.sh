@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Single source of truth for "which files do the linters look at".
+#
+# Default: every tracked C++ file under src/, tests/, bench/, examples/ —
+# minus tests/tools/fixtures/, whose files contain violations on purpose.
+# With --tus: only the translation units under src/ (what clang-tidy runs
+# on; headers are covered via HeaderFilterRegex).
+#
+# Used by tools/run_clang_tidy.sh and the CI clang-format step so the two
+# can never drift on coverage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tus" ]]; then
+  git ls-files 'src/**/*.cpp' 'src/*.cpp'
+else
+  git ls-files \
+    'src/**/*.cpp' 'src/**/*.hpp' 'src/*.cpp' 'src/*.hpp' \
+    'tests/**/*.cpp' 'tests/**/*.hpp' \
+    'bench/**/*.cpp' 'bench/**/*.hpp' \
+    'examples/**/*.cpp' 'examples/**/*.hpp' \
+    ':!tests/tools/fixtures/**'
+fi

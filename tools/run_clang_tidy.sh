@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Run the curated .clang-tidy gate over every src/ translation unit.
+#
+#   tools/run_clang_tidy.sh BUILD_DIR
+#
+# BUILD_DIR must contain compile_commands.json (the top-level CMakeLists
+# exports it unconditionally). Warnings are errors — see .clang-tidy for
+# the check selection and the rationale behind each exclusion.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:?usage: run_clang_tidy.sh BUILD_DIR}"
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B ${BUILD_DIR} -S ." >&2
+  exit 2
+fi
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not on PATH" >&2
+  exit 2
+fi
+
+tools/lint_files.sh --tus \
+  | xargs -r clang-tidy -p "${BUILD_DIR}" --quiet --warnings-as-errors='*'
+echo "clang-tidy: clean"
