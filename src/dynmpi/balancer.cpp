@@ -30,6 +30,43 @@ double two_node_split(double w2, double c, double pa, double pb) {
 
 }  // namespace
 
+void assign_pool_work(const std::vector<NodePower>& nodes,
+                      const std::vector<std::size_t>& pool, double work,
+                      double comm_cpu, std::vector<double>& w) {
+    DYNMPI_REQUIRE(!pool.empty(), "empty balancing pool");
+    work = std::max(0.0, work);
+    // Active-set iteration: equalize (w_j + C)/p_j over the members whose
+    // target is non-negative.  A member driven negative by the comm term is
+    // parked at zero and the equalization re-run without it — the deficit
+    // lands on the remaining members instead of silently vanishing (the old
+    // per-member clamp inflated the pool total by whatever it cut off).
+    std::vector<std::size_t> active(pool.begin(), pool.end());
+    for (auto j : pool) w[j] = 0.0;
+    while (!active.empty()) {
+        double psum = 0.0;
+        for (auto j : active) psum += nodes[j].power();
+        DYNMPI_CHECK(psum > 0.0, "no processing power in balancing pool");
+        const double budget =
+            work + comm_cpu * static_cast<double>(active.size());
+        std::vector<std::size_t> keep;
+        keep.reserve(active.size());
+        bool dropped = false;
+        for (auto j : active) {
+            double wj = nodes[j].power() / psum * budget - comm_cpu;
+            if (wj < 0.0) {
+                w[j] = 0.0;
+                dropped = true;
+            } else {
+                w[j] = wj;
+                keep.push_back(j);
+            }
+        }
+        if (!dropped) return;
+        active = std::move(keep);
+    }
+    // Everyone was parked (work and comm term both ~0): nothing to assign.
+}
+
 std::vector<double> naive_shares(const std::vector<NodePower>& nodes) {
     DYNMPI_REQUIRE(!nodes.empty(), "empty node set");
     double p = total_power(nodes);
@@ -64,17 +101,10 @@ std::vector<double> successive_shares(const BalanceInput& input,
     }
 
     // Comm-aware proportional assignment within a pool: equalize
-    // (w_j + C)/p_j given a pool work total.
+    // (w_j + C)/p_j given a pool work total, conserving the pool total.
     auto pool_assign = [&](const std::vector<std::size_t>& pool, double work,
                            std::vector<double>& w) {
-        double psum = 0.0;
-        for (auto j : pool) psum += nodes[j].power();
-        for (auto j : pool) {
-            double wj = nodes[j].power() / psum *
-                            (work + c * static_cast<double>(pool.size())) -
-                        c;
-            w[j] = std::max(0.0, wj);
-        }
+        assign_pool_work(nodes, pool, work, c, w);
     };
 
     std::vector<double> w(nodes.size(), 0.0);
@@ -153,13 +183,25 @@ std::vector<int> blocks_from_shares(const std::vector<double>& row_costs,
     double total = std::accumulate(row_costs.begin(), row_costs.end(), 0.0);
     std::vector<int> counts(static_cast<std::size_t>(parties), 0);
     if (total <= 0.0) {
-        // No cost information: fall back to share-proportional row counts.
+        // No cost information: fall back to share-proportional row counts,
+        // floored at min_rows — a near-zero share must still receive its
+        // minimum assignment, exactly as the prefix walk below guarantees.
         int assigned = 0;
         for (int j = 0; j < parties; ++j) {
-            int c = static_cast<int>(
-                std::floor(shares[static_cast<std::size_t>(j)] * nrows));
+            int c = std::max(
+                min_rows,
+                static_cast<int>(std::floor(
+                    shares[static_cast<std::size_t>(j)] * nrows)));
             counts[static_cast<std::size_t>(j)] = c;
             assigned += c;
+        }
+        // Flooring can overshoot; shave from parties above the floor
+        // (feasible because nrows >= parties * min_rows).
+        for (int j = 0; assigned > nrows; j = (j + 1) % parties) {
+            if (counts[static_cast<std::size_t>(j)] > min_rows) {
+                --counts[static_cast<std::size_t>(j)];
+                --assigned;
+            }
         }
         for (int j = 0; assigned < nrows; j = (j + 1) % parties) {
             ++counts[static_cast<std::size_t>(j)];

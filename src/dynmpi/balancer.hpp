@@ -15,6 +15,7 @@
 // computations such as particle simulation for free.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "dynmpi/comm_model.hpp"
@@ -44,6 +45,16 @@ std::vector<double> naive_shares(const std::vector<NodePower>& nodes);
 std::vector<double> successive_shares(const BalanceInput& input,
                                       int max_rounds = 32,
                                       double tol = 1e-3);
+
+/// Comm-aware proportional assignment within one pool: equalize
+/// (w_j + comm_cpu)/power_j across `pool` subject to w_j >= 0 and
+/// sum over the pool == max(0, work).  A weak node whose equalized target
+/// would be negative is excluded (it gets 0) and its deficit is
+/// redistributed over the remaining pool members, so no work is silently
+/// dropped.  Entries of `w` outside `pool` are left untouched.
+void assign_pool_work(const std::vector<NodePower>& nodes,
+                      const std::vector<std::size_t>& pool, double work,
+                      double comm_cpu, std::vector<double>& w);
 
 /// Turn shares into contiguous per-node row counts by walking the cost
 /// prefix.  Every node receives at least `min_rows` rows (used by logical

@@ -27,15 +27,19 @@ const std::byte* DenseArray::row_data(int row) const {
 }
 
 std::vector<std::byte> DenseArray::pack_rows(const RowSet& rows) const {
+    // Exact-size reserve: every row contributes a fixed 12-byte header plus
+    // row_bytes() of payload, so the write pass never reallocates.
     std::vector<std::byte> out;
     out.reserve(4 + static_cast<std::size_t>(rows.count()) *
                         (12 + row_bytes()));
     put_u32(out, static_cast<std::uint32_t>(rows.count()));
-    for (int r : rows.to_vector()) {
-        const std::byte* data = row_data(r);
-        put_u32(out, static_cast<std::uint32_t>(r));
-        put_u64(out, row_bytes());
-        out.insert(out.end(), data, data + row_bytes());
+    for (const RowInterval& iv : rows.intervals()) {
+        for (int r = iv.lo; r < iv.hi; ++r) {
+            const std::byte* data = row_data(r);
+            put_u32(out, static_cast<std::uint32_t>(r));
+            put_u64(out, row_bytes());
+            out.insert(out.end(), data, data + row_bytes());
+        }
     }
     stats_.bytes_packed += out.size();
     return out;
@@ -46,6 +50,8 @@ void DenseArray::unpack_rows(const std::vector<std::byte>& data) {
     std::uint32_t nrows = get_u32(data, pos);
     for (std::uint32_t k = 0; k < nrows; ++k) {
         int row = static_cast<int>(get_u32(data, pos));
+        DYNMPI_REQUIRE(row >= 0 && row < global_rows_,
+                       "unpacked row id out of range for " + name_);
         std::uint64_t nbytes = get_u64(data, pos);
         DYNMPI_REQUIRE(nbytes == row_bytes(), "dense row size mismatch");
         DYNMPI_REQUIRE(pos + nbytes <= data.size(), "truncated dense row");
@@ -136,14 +142,32 @@ void ContiguousDenseArray::reextent(int lo, int hi) {
     extent_ = hi - lo;
 }
 
-std::vector<std::byte> ContiguousDenseArray::pack_rows(const RowSet& rows) const {
+std::vector<std::byte> ContiguousDenseArray::pack_rows(
+    const RowSet& rows) const {
+    // Exact-size reserve plus one held-check per interval: held_ intervals
+    // are coalesced, so a fully-held request interval lies inside a single
+    // held interval.  Rows then stream straight out of the contiguous
+    // buffer with no per-row map or containment probes.
     std::vector<std::byte> out;
+    out.reserve(4 + static_cast<std::size_t>(rows.count()) *
+                        (12 + row_bytes()));
     put_u32(out, static_cast<std::uint32_t>(rows.count()));
-    for (int r : rows.to_vector()) {
-        put_u32(out, static_cast<std::uint32_t>(r));
-        put_u64(out, row_bytes());
-        const std::byte* data = row_data(r);
-        out.insert(out.end(), data, data + row_bytes());
+    for (const RowInterval& iv : rows.intervals()) {
+        bool covered = false;
+        for (const RowInterval& h : held_.intervals())
+            if (h.lo <= iv.lo && iv.hi <= h.hi) {
+                covered = true;
+                break;
+            }
+        DYNMPI_REQUIRE(covered, "access to non-held row of " + name_);
+        const std::byte* data =
+            buffer_.data() +
+            static_cast<std::size_t>(iv.lo - base_) * row_bytes();
+        for (int r = iv.lo; r < iv.hi; ++r, data += row_bytes()) {
+            put_u32(out, static_cast<std::uint32_t>(r));
+            put_u64(out, row_bytes());
+            out.insert(out.end(), data, data + row_bytes());
+        }
     }
     stats_.bytes_packed += out.size();
     return out;
@@ -157,6 +181,8 @@ void ContiguousDenseArray::unpack_rows(const std::vector<std::byte>& data) {
     std::size_t scan = pos;
     for (std::uint32_t k = 0; k < nrows; ++k) {
         int row = static_cast<int>(get_u32(data, scan));
+        DYNMPI_REQUIRE(row >= 0 && row < global_rows_,
+                       "unpacked row id out of range for " + name_);
         std::uint64_t nbytes = get_u64(data, scan);
         scan += nbytes;
         incoming.add(row, row + 1);

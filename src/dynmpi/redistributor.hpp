@@ -54,9 +54,43 @@ RowSet needed_rows(const msg::Group& active, const Distribution& dist,
 /// Rows `src_abs` must ship to `dst_abs` for one array: the source's old
 /// ownership intersected with the destination's newly-needed rows, excluding
 /// rows the destination already owned authoritatively.
+///
+/// This is the reference formulation: calling it for every (src, dst) pair
+/// rebuilds the same owned/needed sets O(P²·A) times per redistribution.
+/// Execution uses RedistPlan instead; tests pin the two against each other.
 RowSet transfer_rows(const RedistContext& ctx,
                      const std::vector<Drsd>& accesses, int src_abs,
                      int dst_abs);
+
+/// One redistribution's complete transfer schedule from the calling rank's
+/// perspective, computed once and shared by the pack, unpack, and cleanup
+/// phases.  Building it materializes every party's old-owned RowSet once
+/// (it is array-independent) and every (array, party) needed RowSet exactly
+/// once — O(P·A) set constructions instead of the O(P²·A) that pairwise
+/// transfer_rows calls in both the send and the receive phase would cost.
+struct RedistPlan {
+    /// Union of old and new active members, ascending — the deterministic
+    /// traversal order of every execution phase.
+    std::vector<int> parties;
+
+    struct ArrayPlan {
+        /// Rows this rank ships to / receives from parties[i].  Both are
+        /// empty at this rank's own slot.
+        std::vector<RowSet> send_to;
+        std::vector<RowSet> recv_from;
+        /// Rows this rank must hold once the redistribution lands — the
+        /// cleanup phase's retain/ensure target.
+        RowSet my_needed;
+    };
+    /// One plan per registered array, in registration order.
+    std::vector<ArrayPlan> per_array;
+};
+
+/// Build the calling rank's schedule for one redistribution.  Pure and
+/// deterministic: every rank derives a mutually consistent plan from the
+/// shared context, so no negotiation round is needed.
+RedistPlan build_redist_plan(const RedistContext& ctx,
+                             const std::vector<ArrayInfo>& arrays, int me);
 
 struct RedistStats {
     std::uint64_t messages = 0;
@@ -73,8 +107,9 @@ struct RedistStats {
     };
     std::vector<ArrayTransfer> per_array;
 
-    /// Phase timings on this rank (sim seconds): pack+send, recv+unpack,
-    /// the closing barrier, and storage cleanup.
+    /// Phase timings on this rank (sim seconds): transfer planning,
+    /// pack+send, recv+unpack, the closing barrier, and storage cleanup.
+    double plan_s = 0.0;
     double pack_s = 0.0;
     double unpack_s = 0.0;
     double sync_s = 0.0;

@@ -80,6 +80,57 @@ RowSet RowSet::subtract(const RowSet& other) const {
     return out; // construction preserves sorted, disjoint order
 }
 
+void RowSet::intersect_with(const RowSet& other) {
+    if (intervals_.empty()) return;
+    if (other.intervals_.empty()) {
+        intervals_.clear();
+        return;
+    }
+    if (other.intervals_.size() == 1) {
+        // Clipping by a single interval never splits anything: trim and
+        // compact in place, allocation-free.  This is the planner's hot
+        // shape — block distributions are one interval per party.
+        const RowInterval b = other.intervals_.front();
+        std::size_t w = 0;
+        for (const RowInterval& a : intervals_) {
+            RowInterval c{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+            if (!c.empty()) intervals_[w++] = c;
+        }
+        intervals_.resize(w);
+        return;
+    }
+    *this = intersect(other);
+}
+
+void RowSet::subtract_with(const RowSet& other) {
+    if (intervals_.empty() || other.intervals_.empty()) return;
+    if (other.intervals_.size() > 1) {
+        *this = subtract(other);
+        return;
+    }
+    // A single subtrahend splits at most one interval in two; every other
+    // interval shrinks or vanishes, so the result compacts in place.
+    const RowInterval b = other.intervals_.front();
+    const std::size_t n = intervals_.size();
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const RowInterval a = intervals_[i];
+        const RowInterval left{a.lo, std::min(a.hi, b.lo)};
+        const RowInterval right{std::max(a.lo, b.hi), a.hi};
+        if (!left.empty() && !right.empty() && w == i) {
+            // The one possible two-piece split with no compaction slack yet:
+            // grow by one slot; the tail is already in its final place.
+            intervals_[i] = right;
+            intervals_.insert(
+                intervals_.begin() + static_cast<std::ptrdiff_t>(i), left);
+            return;
+        }
+        if (!left.empty()) intervals_[w++] = left;
+        if (!right.empty()) intervals_[w++] = right;
+    }
+    intervals_.resize(w);
+}
+
 bool RowSet::contains(int row) const {
     for (const auto& iv : intervals_) {
         if (row < iv.lo) return false;

@@ -36,6 +36,11 @@ public:
     RowSet subtract(const RowSet& other) const;
     RowSet unite(const RowSet& other) const;
 
+    /// In-place variants for hot paths (redistribution planning): no
+    /// temporary RowSet is allocated for the result.
+    void intersect_with(const RowSet& other);
+    void subtract_with(const RowSet& other);
+
     bool contains(int row) const;
     bool empty() const { return intervals_.empty(); }
 

@@ -130,17 +130,33 @@ void SparseMatrix::Cursor::advance_row() {
 
 std::vector<std::byte> SparseMatrix::pack_rows(const RowSet& rows) const {
     // Pack each linked-list row into the flat wire vector (paper §4.4: a row
-    // "must be packed into a vector" before transfer).
+    // "must be packed into a vector" before transfer).  The buffer is sized
+    // by an exact precount so the write pass never reallocates, and rows_ is
+    // ordered, so each interval is one lower_bound plus a linear walk instead
+    // of a map lookup per row.
+    std::size_t total = 4;
+    for (const RowInterval& iv : rows.intervals()) {
+        auto it = rows_.lower_bound(iv.lo);
+        for (int r = iv.lo; r < iv.hi; ++r, ++it) {
+            DYNMPI_REQUIRE(it != rows_.end() && it->first == r,
+                           "access to non-held row of " + name_);
+            total += 12 + it->second.size() * sizeof(SparseEntry);
+        }
+    }
     std::vector<std::byte> out;
+    out.reserve(total);
     put_u32(out, static_cast<std::uint32_t>(rows.count()));
-    for (int r : rows.to_vector()) {
-        const RowList& list = row(r);
-        put_u32(out, static_cast<std::uint32_t>(r));
-        put_u64(out, list.size() * sizeof(SparseEntry));
-        for (const auto& e : list) {
-            std::byte b[sizeof(SparseEntry)];
-            std::memcpy(b, &e, sizeof(SparseEntry));
-            out.insert(out.end(), b, b + sizeof(SparseEntry));
+    for (const RowInterval& iv : rows.intervals()) {
+        auto it = rows_.lower_bound(iv.lo);
+        for (int r = iv.lo; r < iv.hi; ++r, ++it) {
+            const RowList& list = it->second;
+            put_u32(out, static_cast<std::uint32_t>(r));
+            put_u64(out, list.size() * sizeof(SparseEntry));
+            for (const auto& e : list) {
+                std::byte b[sizeof(SparseEntry)];
+                std::memcpy(b, &e, sizeof(SparseEntry));
+                out.insert(out.end(), b, b + sizeof(SparseEntry));
+            }
         }
     }
     stats_.bytes_packed += out.size();
@@ -152,6 +168,8 @@ void SparseMatrix::unpack_rows(const std::vector<std::byte>& data) {
     std::uint32_t nrows = get_u32(data, pos);
     for (std::uint32_t k = 0; k < nrows; ++k) {
         int r = static_cast<int>(get_u32(data, pos));
+        DYNMPI_REQUIRE(r >= 0 && r < global_rows_,
+                       "unpacked row id out of range for " + name_);
         std::uint64_t nbytes = get_u64(data, pos);
         DYNMPI_REQUIRE(nbytes % sizeof(SparseEntry) == 0,
                        "sparse row payload not a whole number of entries");

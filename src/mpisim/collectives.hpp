@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "mpisim/rank.hpp"
@@ -52,11 +53,18 @@ public:
         DYNMPI_REQUIRE(rel >= 0 && rel < size(), "relative rank out of range");
         return members_[static_cast<std::size_t>(rel)];
     }
-    /// Relative rank of an absolute rank, or -1 if not a member.
+    /// Relative rank of an absolute rank, or -1 if not a member.  Backed by
+    /// a lazily built member→relative-rank index so the redistribution
+    /// planner's per-party probes are not linear scans (std::map: the index
+    /// is never iterated, but determinism must not hinge on that).
     int index_of(int rank) const {
-        for (int i = 0; i < size(); ++i)
-            if (members_[static_cast<std::size_t>(i)] == rank) return i;
-        return -1;
+        if (index_.empty()) {
+            if (members_.empty()) return -1;
+            for (int i = 0; i < size(); ++i)
+                index_.emplace(members_[static_cast<std::size_t>(i)], i);
+        }
+        auto it = index_.find(rank);
+        return it == index_.end() ? -1 : it->second;
     }
     bool contains(int rank) const { return index_of(rank) >= 0; }
     const std::vector<int>& members() const { return members_; }
@@ -67,6 +75,7 @@ public:
 private:
     std::vector<int> members_;
     std::uint64_t hash_ = 0;
+    mutable std::map<int, int> index_; ///< built on first index_of/contains
 };
 
 namespace detail {

@@ -2,6 +2,7 @@
 // consistency laws that must hold for arbitrary inputs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "dynmpi/balancer.hpp"
@@ -66,6 +67,35 @@ TEST_P(BalancerProperty, BlocksConserveRowsUnderAnyShares) {
                       static_cast<int>(in.row_costs.size()));
             for (int c : counts) ASSERT_GE(c, min_rows);
         }
+    }
+}
+
+TEST_P(BalancerProperty, PoolWorkIsConserved) {
+    // Pool assignment must hand out exactly the requested work, even under
+    // strong heterogeneity and comm terms large enough to park weak members
+    // at zero (the old clamp leaked the parked members' deficits).
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 52361);
+    for (int trial = 0; trial < 25; ++trial) {
+        int n = 1 + static_cast<int>(rng.next_below(12));
+        std::vector<NodePower> nodes;
+        std::vector<std::size_t> pool;
+        for (int j = 0; j < n; ++j) {
+            // Spread powers over ~3 orders of magnitude.
+            nodes.push_back(NodePower{rng.uniform(0.005, 5.0),
+                                      rng.uniform(0.0, 3.0)});
+            pool.push_back(static_cast<std::size_t>(j));
+        }
+        double work = rng.uniform(0.0, 10.0);
+        double comm = rng.uniform(0.0, 2.0);
+        std::vector<double> w(static_cast<std::size_t>(n), -1.0);
+        assign_pool_work(nodes, pool, work, comm, w);
+        double sum = 0.0;
+        for (auto j : pool) {
+            ASSERT_GE(w[j], 0.0) << "trial " << trial << " member " << j;
+            sum += w[j];
+        }
+        ASSERT_NEAR(sum, work, 1e-9 * std::max(1.0, work))
+            << "trial " << trial;
     }
 }
 

@@ -143,6 +143,47 @@ TEST(BlocksFromShares, ZeroCostFallbackUsesShares) {
     EXPECT_EQ(counts[0], 4);
 }
 
+TEST(BlocksFromShares, ZeroCostFallbackHonorsMinRows) {
+    // Regression: the zero-total fallback used to ignore min_rows entirely —
+    // a near-zero share got floor(share*nrows) = 0 rows and the round-robin
+    // top-up handed the remainder to the first party, yielding {4, 0} here.
+    auto counts = blocks_from_shares(std::vector<double>(4, 0.0),
+                                     {0.99, 0.01}, /*min_rows=*/2);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 4);
+    EXPECT_GE(counts[0], 2);
+    EXPECT_GE(counts[1], 2);
+}
+
+TEST(AssignPoolWork, DeficitRedistributedNotDropped) {
+    // Regression: a weak node whose comm-adjusted target went negative was
+    // clamped to zero without reassigning the cut-off work, so the pool's
+    // assigned total exceeded the requested work (1.475 vs 0.5 here).
+    std::vector<NodePower> nodes{{1.0, 0}, {0.01, 0}};
+    std::vector<double> w(2, -1.0);
+    assign_pool_work(nodes, {0, 1}, /*work=*/0.5, /*comm_cpu=*/1.0, w);
+    EXPECT_NEAR(w[0] + w[1], 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(AssignPoolWork, EqualizesCompletionAcrossPool) {
+    std::vector<NodePower> nodes{{2.0, 0}, {1.0, 0}, {1.0, 1}};
+    std::vector<double> w(3, 0.0);
+    const double c = 0.05;
+    assign_pool_work(nodes, {0, 1, 2}, /*work=*/3.0, c, w);
+    EXPECT_NEAR(w[0] + w[1] + w[2], 3.0, 1e-12);
+    double t0 = (w[0] + c) / nodes[0].power();
+    for (std::size_t j = 1; j < 3; ++j)
+        EXPECT_NEAR((w[j] + c) / nodes[j].power(), t0, 1e-9);
+}
+
+TEST(AssignPoolWork, ZeroWorkAssignsNothing) {
+    std::vector<NodePower> nodes{{1.0, 0}, {0.25, 0}};
+    std::vector<double> w(2, -1.0);
+    assign_pool_work(nodes, {0, 1}, /*work=*/0.0, /*comm_cpu=*/0.2, w);
+    EXPECT_DOUBLE_EQ(w[0], 0.0);
+    EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
 TEST(PredictCycleTime, LoadedNodeDominates) {
     auto in = make_input({{1, 0}, {1, 1}}, 100, 0.0);
     double t = predict_cycle_time(in, {50, 50});

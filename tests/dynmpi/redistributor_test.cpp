@@ -123,6 +123,59 @@ TEST(RedistPlan, PlanIsSymmetricallyConsistent) {
     }
 }
 
+TEST(RedistPlan, PlanMatchesPairwiseTransferRows) {
+    // The plan-once schedule must be row-for-row identical to the reference
+    // pairwise formulation, for every perspective rank, across distribution
+    // shape changes (block -> cyclic) and active-set shrink/grow.
+    const int rows = 48;
+    std::vector<ArrayInfo> arrays;
+    for (const char* name : {"A", "B"}) {
+        ArrayInfo ai;
+        ai.accesses = name[0] == 'A' ? halo_accesses(name)
+                                     : std::vector<Drsd>{};
+        arrays.push_back(std::move(ai));
+    }
+
+    auto check = [&](const Group& oldg, const Distribution& oldd,
+                     const Group& newg, const Distribution& newd) {
+        RedistContext ctx{rows, &oldg, &oldd, &newg, &newd};
+        for (int me = 0; me < 7; ++me) { // includes non-parties
+            RedistPlan plan = build_redist_plan(ctx, arrays, me);
+            ASSERT_EQ(plan.per_array.size(), arrays.size());
+            for (std::size_t k = 0; k < arrays.size(); ++k) {
+                const auto& ap = plan.per_array[k];
+                ASSERT_EQ(ap.send_to.size(), plan.parties.size());
+                ASSERT_EQ(ap.recv_from.size(), plan.parties.size());
+                for (std::size_t i = 0; i < plan.parties.size(); ++i) {
+                    const int peer = plan.parties[i];
+                    EXPECT_EQ(ap.send_to[i],
+                              transfer_rows(ctx, arrays[k].accesses, me,
+                                            peer))
+                        << "send me=" << me << " peer=" << peer << " k=" << k;
+                    EXPECT_EQ(ap.recv_from[i],
+                              transfer_rows(ctx, arrays[k].accesses, peer,
+                                            me))
+                        << "recv me=" << me << " peer=" << peer << " k=" << k;
+                }
+                EXPECT_EQ(ap.my_needed,
+                          needed_rows(newg, newd, me, arrays[k].accesses,
+                                      rows))
+                    << "needed me=" << me << " k=" << k;
+            }
+        }
+    };
+
+    // Same membership, block -> cyclic.
+    check(Group({0, 1, 2, 3}), Distribution::block(0, rows, {12, 12, 12, 12}),
+          Group({0, 1, 2, 3}), Distribution::cyclic(0, rows, 4));
+    // Shrink: six nodes down to three, even block -> block-cyclic.
+    check(Group({0, 1, 2, 3, 4, 5}), Distribution::even_block(0, rows, 6),
+          Group({1, 3, 4}), Distribution::cyclic(0, rows, 3, 2));
+    // Grow: two nodes up to four, cyclic -> variable block.
+    check(Group({0, 2}), Distribution::cyclic(0, rows, 2),
+          Group({0, 1, 2, 4}), Distribution::block(0, rows, {10, 14, 16, 8}));
+}
+
 // ---------------------------------------------------------------------------
 // Execution on the machine
 // ---------------------------------------------------------------------------

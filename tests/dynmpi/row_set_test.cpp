@@ -104,6 +104,50 @@ TEST(RowSet, InvalidIntervalRejected) {
     EXPECT_THROW(s.add(9, 2), Error);
 }
 
+TEST(RowSet, IntersectWithMatchesIntersect) {
+    RowSet a;
+    a.add(0, 4);
+    a.add(6, 10);
+    a.add(12, 15);
+    // Single-interval operand exercises the in-place fast path.
+    RowSet b(3, 13);
+    RowSet in_place = a;
+    in_place.intersect_with(b);
+    EXPECT_EQ(in_place, a.intersect(b));
+    // Multi-interval operand falls back to the allocating algorithm.
+    RowSet c;
+    c.add(1, 2);
+    c.add(7, 14);
+    in_place = a;
+    in_place.intersect_with(c);
+    EXPECT_EQ(in_place, a.intersect(c));
+    in_place = a;
+    in_place.intersect_with(RowSet());
+    EXPECT_TRUE(in_place.empty());
+}
+
+TEST(RowSet, SubtractWithMatchesSubtract) {
+    RowSet a;
+    a.add(0, 4);
+    a.add(6, 10);
+    a.add(12, 15);
+    for (RowSet b : {RowSet(7, 9),   // splits the middle interval
+                     RowSet(0, 4),   // removes the first exactly
+                     RowSet(3, 13),  // trims across all three
+                     RowSet(20, 25), // disjoint: identity
+                     RowSet()}) {
+        RowSet in_place = a;
+        in_place.subtract_with(b);
+        EXPECT_EQ(in_place, a.subtract(b));
+    }
+    RowSet multi;
+    multi.add(1, 3);
+    multi.add(8, 13);
+    RowSet in_place = a;
+    in_place.subtract_with(multi);
+    EXPECT_EQ(in_place, a.subtract(multi));
+}
+
 // Property test: set algebra laws on randomized sets, checked against a
 // brute-force bitmap model.
 class RowSetProperty : public ::testing::TestWithParam<int> {};
@@ -144,6 +188,14 @@ TEST_P(RowSetProperty, AlgebraMatchesBitmapModel) {
         check(a.intersect(b), [](bool x, bool y) { return x && y; }, "and");
         check(a.unite(b), [](bool x, bool y) { return x || y; }, "or");
         check(a.subtract(b), [](bool x, bool y) { return x && !y; }, "diff");
+
+        // In-place variants must agree with their allocating counterparts.
+        RowSet ai = a;
+        ai.intersect_with(b);
+        ASSERT_EQ(ai, a.intersect(b));
+        RowSet as = a;
+        as.subtract_with(b);
+        ASSERT_EQ(as, a.subtract(b));
 
         // Normalization invariants: sorted, disjoint, non-empty intervals.
         RowSet u = a.unite(b);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -10,6 +14,18 @@ namespace {
 
 SparseMatrix make(int rows = 10, int cols = 10) {
     return SparseMatrix("S", rows, cols);
+}
+
+void put32(std::vector<std::byte>& out, std::uint32_t v) {
+    std::byte b[4];
+    std::memcpy(b, &v, 4);
+    out.insert(out.end(), b, b + 4);
+}
+
+void put64(std::vector<std::byte>& out, std::uint64_t v) {
+    std::byte b[8];
+    std::memcpy(b, &v, 8);
+    out.insert(out.end(), b, b + 8);
 }
 
 TEST(SparseMatrix, SetAndGet) {
@@ -93,6 +109,31 @@ TEST(SparseMatrix, UnpackPreservesColumnOrder) {
     std::vector<int> cols;
     for (const auto& e : dst.row(0)) cols.push_back(e.col);
     EXPECT_EQ(cols, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(SparseMatrix, UnpackRejectsRowBeyondGlobalRows) {
+    // Regression: unpack_rows accepted any decoded row id and happily
+    // materialized phantom rows outside [0, global_rows).  A blob packed by
+    // a larger matrix must be rejected by a smaller one.
+    SparseMatrix src("S", 20, 10);
+    src.ensure_rows(RowSet(12, 13));
+    src.set(12, 3, 1.0);
+    auto blob = src.pack_rows(RowSet(12, 13));
+    auto dst = make(10, 10);
+    EXPECT_THROW(dst.unpack_rows(blob), Error);
+    EXPECT_TRUE(dst.held().empty());
+    EXPECT_FALSE(dst.has_row(12));
+}
+
+TEST(SparseMatrix, UnpackRejectsNegativeRowId) {
+    // A row id whose u32 wire encoding decodes to a negative int.
+    std::vector<std::byte> blob;
+    put32(blob, 1);           // nrows
+    put32(blob, 0xFFFFFFFFu); // row id -1
+    put64(blob, 0);           // empty payload
+    auto dst = make();
+    EXPECT_THROW(dst.unpack_rows(blob), Error);
+    EXPECT_TRUE(dst.held().empty());
 }
 
 TEST(SparseMatrix, DropFreesRows) {

@@ -55,6 +55,7 @@ KNOWN_EVENTS = {
     "redist.apply": {
         "cycle", "active_before", "active_after", "rows", "bytes", "messages",
     },
+    "redist.plan": {"seq"},
     "redist.pack": {"seq", "rows", "bytes", "messages"},
     "redist.unpack": {"seq"},
     "redist.sync": {"seq"},
